@@ -1,0 +1,108 @@
+"""E4 — adaptive multi-plan optimization across workload states (Section 4.1).
+
+The game alternates between "exploring" (spread-out units, selective range
+join) and "fighting" (clustered units, dense range join).  A plan compiled
+for one state is mis-optimized for the other; the adaptive manager keeps
+one plan per state and switches, which should track the better static plan
+in every phase.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import Experiment
+from repro.engine import (
+    AdaptiveQueryManager,
+    Aggregate,
+    AggregateSpec,
+    ExecutionFeedback,
+    Executor,
+    Join,
+    Select,
+    TableScan,
+    and_all,
+    col,
+)
+from repro.workloads.state_switching import load_state, make_state_catalog
+
+N_UNITS = 250
+PHASES = ["exploring", "fighting", "exploring", "fighting"]
+
+
+def range_join_plan():
+    join = Join(TableScan("unit", alias="self"), TableScan("unit", alias="u"), None, how="cross")
+    predicate = and_all(
+        [
+            col("u.x").ge(col("self.x") - col("self.range")),
+            col("u.x").le(col("self.x") + col("self.range")),
+            col("u.y").ge(col("self.y") - col("self.range")),
+            col("u.y").le(col("self.y") + col("self.range")),
+            col("u.strength").gt(col("self.strength")),
+        ]
+    )
+    return Aggregate(Select(join, predicate), ["self.id"], [AggregateSpec("threats", "count")])
+
+
+def run_adaptive(catalog, ticks_per_phase: int = 3) -> float:
+    manager = AdaptiveQueryManager(catalog, range_join_plan())
+    total = 0.0
+    for phase in PHASES:
+        load_state(catalog, phase, N_UNITS)
+        if phase not in manager.states:
+            manager.compile_for_state(phase)
+        manager.switch_to(phase)
+        for _ in range(ticks_per_phase):
+            start = time.perf_counter()
+            rows = manager.physical_plan().rows()
+            elapsed = time.perf_counter() - start
+            total += elapsed
+            manager.record_execution(ExecutionFeedback(rows=len(rows), runtime=elapsed, state_hint=phase))
+    return total
+
+
+def run_static(catalog, compile_state: str, ticks_per_phase: int = 3) -> float:
+    load_state(catalog, compile_state, N_UNITS)
+    executor = Executor(catalog)
+    planned = executor.prepare(range_join_plan())
+    total = 0.0
+    for phase in PHASES:
+        load_state(catalog, phase, N_UNITS)
+        for _ in range(ticks_per_phase):
+            start = time.perf_counter()
+            planned.physical.rows()
+            total += time.perf_counter() - start
+    return total
+
+
+@pytest.mark.benchmark(group="E4-adaptive")
+def test_adaptive_plan_switching(benchmark):
+    catalog = make_state_catalog()
+    benchmark(lambda: run_adaptive(catalog, ticks_per_phase=1))
+
+
+@pytest.mark.benchmark(group="E4-adaptive")
+def test_static_plan_compiled_for_exploring(benchmark):
+    catalog = make_state_catalog()
+    benchmark(lambda: run_static(catalog, "exploring", ticks_per_phase=1))
+
+
+def test_adaptive_tracks_best_static(capsys):
+    catalog = make_state_catalog()
+    adaptive = run_adaptive(catalog)
+    static_exploring = run_static(catalog, "exploring")
+    static_fighting = run_static(catalog, "fighting")
+    experiment = Experiment(
+        "E4: adaptive multi-plan vs single static plans",
+        "total seconds over exploring/fighting/exploring/fighting phases",
+        columns=["strategy", "seconds"],
+    )
+    experiment.add_row(strategy="adaptive (per-state plans)", seconds=adaptive)
+    experiment.add_row(strategy="static (exploring plan)", seconds=static_exploring)
+    experiment.add_row(strategy="static (fighting plan)", seconds=static_fighting)
+    with capsys.disabled():
+        experiment.print()
+    # Adaptive should not be materially worse than the best static plan.
+    assert adaptive <= 1.5 * min(static_exploring, static_fighting)

@@ -1,0 +1,40 @@
+"""E1 — Figures 1 and 2 of the paper.
+
+The class-declaration fragment (Figure 1) and the accum-loop counting units
+in range (Figure 2) compile and run; the compiled set-at-a-time execution
+produces the same counts as the per-object interpreter, and this benchmark
+measures the cost of one tick of that exact query in both modes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionMode
+from repro.workloads import build_rts_world
+
+
+def _world(mode: ExecutionMode, n: int = 300):
+    return build_rts_world(n, mode=mode, with_physics=False, scripts=["count_neighbours"])
+
+
+def test_fig2_compiled_equals_interpreted():
+    compiled = _world(ExecutionMode.COMPILED, 150)
+    interpreted = _world(ExecutionMode.INTERPRETED, 150)
+    compiled.tick()
+    interpreted.tick()
+    seen_c = {(k[1], v["enemies_seen"]) for k, v in compiled.last_effects.values.items()}
+    seen_i = {(k[1], v["enemies_seen"]) for k, v in interpreted.last_effects.values.items()}
+    assert seen_c == seen_i
+
+
+@pytest.mark.benchmark(group="E1-fig2")
+def test_fig2_compiled_tick(benchmark):
+    world = _world(ExecutionMode.COMPILED)
+    benchmark(world.tick)
+
+
+@pytest.mark.benchmark(group="E1-fig2")
+def test_fig2_interpreted_tick(benchmark):
+    world = _world(ExecutionMode.INTERPRETED)
+    benchmark(world.tick)

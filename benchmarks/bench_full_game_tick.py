@@ -1,0 +1,56 @@
+"""E12 — full game tick rate and phase breakdown (Section 1, Section 2).
+
+The motivating scalability question (EVE Online's 40,000 concurrent users
+on one server) translates here into: how does the achievable tick rate of a
+complete game — scripts, effect combination, physics, update rules — scale
+with the number of NPCs, and where does the time go (query+effect step vs.
+update step)?
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionMode
+from repro.bench import Experiment
+from repro.workloads import build_rts_world, build_traffic_world
+
+
+@pytest.mark.benchmark(group="E12-full-game")
+@pytest.mark.parametrize("n_units", [100, 300])
+def test_full_rts_tick(benchmark, n_units):
+    world = build_rts_world(n_units, mode=ExecutionMode.COMPILED)
+    benchmark(world.tick)
+
+
+@pytest.mark.benchmark(group="E12-full-game")
+def test_full_traffic_tick(benchmark):
+    world = build_traffic_world(500)
+    benchmark(world.tick)
+
+
+def test_tick_rate_scaling_and_phase_breakdown(scaling_sizes, capsys):
+    experiment = Experiment(
+        "E12: full game tick (scripts + physics + updates)",
+        columns=["units", "ticks_per_s", "effect_step_pct", "update_step_pct"],
+    )
+    rates = []
+    for n in scaling_sizes:
+        world = build_rts_world(n, mode=ExecutionMode.COMPILED)
+        world.tick()  # warm-up: compiles plans
+        reports = world.run(3)
+        total = sum(r.total_seconds for r in reports) / len(reports)
+        effect = sum(r.effect_step_seconds for r in reports) / len(reports)
+        update = sum(r.update_step_seconds for r in reports) / len(reports)
+        rates.append(1.0 / total if total else float("inf"))
+        experiment.add_row(
+            units=n,
+            ticks_per_s=rates[-1],
+            effect_step_pct=100 * effect / total,
+            update_step_pct=100 * update / total,
+        )
+    with capsys.disabled():
+        experiment.print()
+    # Tick rate decreases with population but stays interactive at the small end.
+    assert rates[0] > rates[-1]
+    assert rates[0] > 5.0

@@ -1,0 +1,109 @@
+"""E10 — waitNextTick vs. a hand-written state machine (Section 3.2).
+
+The paper argues waitNextTick is pure syntactic convenience: "there is a
+direct translation between multi-tick programs using waitNextTick and
+standard single-tick SGL programs".  The benchmark runs the same
+move/regroup/strike behaviour written both ways and checks equal results
+and comparable cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionMode, GameWorld
+from repro.bench import Experiment, measure
+
+MULTI_TICK_SOURCE = """
+class Soldier {
+  state:
+    number x = 0;
+    number stamina = 10;
+  effects:
+    number dx : sum;
+    number rest : sum;
+    number strike : sum;
+}
+
+script campaign(Soldier self) {
+  dx <- 1;
+  waitNextTick;
+  rest <- 1;
+  waitNextTick;
+  strike <- 1;
+}
+"""
+
+STATE_MACHINE_SOURCE = """
+class Soldier {
+  state:
+    number x = 0;
+    number stamina = 10;
+    number phase = 0;
+  effects:
+    number dx : sum;
+    number rest : sum;
+    number strike : sum;
+}
+
+script campaign(Soldier self) {
+  if (phase == 0) { dx <- 1; }
+  if (phase == 1) { rest <- 1; }
+  if (phase == 2) { strike <- 1; }
+}
+"""
+
+
+def build_multi_tick(n: int):
+    world = GameWorld(MULTI_TICK_SOURCE, mode=ExecutionMode.COMPILED)
+    world.add_update_rule("Soldier", "x", lambda s, e: s["x"] + e.get("dx", 0))
+    world.add_update_rule(
+        "Soldier", "stamina", lambda s, e: s["stamina"] + e.get("rest", 0) - e.get("strike", 0)
+    )
+    for _ in range(n):
+        world.spawn("Soldier")
+    return world
+
+
+def build_state_machine(n: int):
+    world = GameWorld(STATE_MACHINE_SOURCE, mode=ExecutionMode.COMPILED)
+    world.add_update_rule("Soldier", "x", lambda s, e: s["x"] + e.get("dx", 0))
+    world.add_update_rule(
+        "Soldier", "stamina", lambda s, e: s["stamina"] + e.get("rest", 0) - e.get("strike", 0)
+    )
+    world.add_update_rule("Soldier", "phase", lambda s, e: (s["phase"] + 1) % 3)
+    for _ in range(n):
+        world.spawn("Soldier")
+    return world
+
+
+@pytest.mark.benchmark(group="E10-multitick")
+def test_wait_next_tick_version(benchmark):
+    world = build_multi_tick(400)
+    benchmark(world.tick)
+
+
+@pytest.mark.benchmark(group="E10-multitick")
+def test_hand_written_state_machine(benchmark):
+    world = build_state_machine(400)
+    benchmark(world.tick)
+
+
+def test_equivalence_and_overhead(capsys):
+    multi = build_multi_tick(200)
+    manual = build_state_machine(200)
+    for _ in range(6):
+        multi.tick()
+        manual.tick()
+    state_multi = sorted((s["id"], s["x"], s["stamina"]) for s in multi.objects("Soldier"))
+    state_manual = sorted((s["id"], s["x"], s["stamina"]) for s in manual.objects("Soldier"))
+    assert state_multi == state_manual
+
+    experiment = Experiment(
+        "E10: waitNextTick vs hand-written state machine (200 soldiers, 1 tick)",
+        columns=["variant", "tick_s"],
+    )
+    experiment.add_row(variant="waitNextTick", tick_s=measure(build_multi_tick(200).tick, repeat=2))
+    experiment.add_row(variant="state machine", tick_s=measure(build_state_machine(200).tick, repeat=2))
+    with capsys.disabled():
+        experiment.print()

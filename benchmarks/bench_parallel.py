@@ -1,0 +1,88 @@
+"""E5 — parallel effect computation (Section 4.2).
+
+"Since all tables are read-only until the update phase, effect computation
+can occur without synchronization."  The partitioned executor splits the
+acting-object extent across workers; results must match serial execution
+exactly, and the simulated speedup (sum of partition work / slowest
+partition) should scale with the worker count even though the Python GIL
+hides wall-clock gains for pure-Python operators (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import Experiment
+from repro.engine import (
+    Aggregate,
+    AggregateSpec,
+    Catalog,
+    Column,
+    DataType,
+    Executor,
+    Join,
+    PartitionedExecutor,
+    Schema,
+    Select,
+    TableScan,
+    and_all,
+    col,
+)
+from repro.workloads.state_switching import unit_positions
+
+
+def make_catalog(n: int = 400) -> Catalog:
+    catalog = Catalog()
+    schema = Schema(
+        [
+            Column("id", DataType.NUMBER, nullable=False),
+            Column("player", DataType.NUMBER),
+            Column("x", DataType.NUMBER),
+            Column("y", DataType.NUMBER),
+            Column("range", DataType.NUMBER),
+            Column("strength", DataType.NUMBER),
+        ]
+    )
+    catalog.create_table("unit", schema, key="id").insert_many(unit_positions(n, "exploring"))
+    return catalog
+
+
+def effect_plan():
+    join = Join(TableScan("unit", alias="self"), TableScan("unit", alias="u"), None, how="cross")
+    predicate = and_all(
+        [
+            col("u.x").ge(col("self.x") - col("self.range")),
+            col("u.x").le(col("self.x") + col("self.range")),
+            col("u.y").ge(col("self.y") - col("self.range")),
+            col("u.y").le(col("self.y") + col("self.range")),
+        ]
+    )
+    return Aggregate(Select(join, predicate), ["self.id"], [AggregateSpec("cnt", "count")])
+
+
+@pytest.mark.benchmark(group="E5-parallel")
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_partitioned_effect_step(benchmark, workers):
+    catalog = make_catalog()
+    executor = PartitionedExecutor(catalog, n_workers=workers, use_threads=False)
+    benchmark(lambda: executor.execute(effect_plan(), "unit", "id", partition_only_scan_alias="self"))
+
+
+def test_speedup_curve_and_correctness(capsys):
+    catalog = make_catalog()
+    serial_rows = {(r["self.id"], r["cnt"]) for r in Executor(catalog).execute(effect_plan()).rows}
+    experiment = Experiment(
+        "E5: simulated parallel speedup of the effect step",
+        columns=["workers", "wall_clock_s", "simulated_speedup"],
+    )
+    speedups = {}
+    for workers in (1, 2, 4, 8):
+        executor = PartitionedExecutor(catalog, n_workers=workers, use_threads=False)
+        result = executor.execute(effect_plan(), "unit", "id", partition_only_scan_alias="self")
+        assert {(r["self.id"], r["cnt"]) for r in result.rows} == serial_rows
+        speedups[workers] = result.simulated_speedup
+        experiment.add_row(workers=workers, wall_clock_s=result.wall_clock, simulated_speedup=result.simulated_speedup)
+    with capsys.disabled():
+        experiment.print()
+    assert speedups[4] > speedups[1]
+    assert speedups[8] > 2.0

@@ -1,0 +1,110 @@
+"""E6 — orthogonal range tree space and query cost (Section 4.2).
+
+"Each of these trees takes Θ(n log^{d-1} n) space … a tree with 100,000
+entries of 16 bytes each takes about 2 GB."  The benchmark builds range
+trees, kd-trees and grids over growing point sets, reports estimated bytes
+per structure (the range tree must grow super-linearly), extrapolates the
+paper's 100k/2 GB figure, and times range queries.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bench import Experiment, measure
+from repro.engine.indexes import GridIndex, KdTreeIndex, RangeTreeIndex
+
+
+def make_points(n: int, dims: int = 2, seed: int = 9):
+    rng = random.Random(seed)
+    return [(tuple(rng.uniform(0, 1000) for _ in range(dims)), i) for i in range(n)]
+
+
+@pytest.mark.benchmark(group="E6-range-tree")
+def test_range_tree_build(benchmark):
+    points = make_points(2000)
+    benchmark(lambda: RangeTreeIndex(["x", "y"]).build_from_points(points))
+
+
+@pytest.mark.benchmark(group="E6-range-tree")
+def test_range_tree_query(benchmark):
+    points = make_points(2000)
+    tree = RangeTreeIndex(["x", "y"])
+    tree.build_from_points(points)
+    benchmark(lambda: list(tree.range_search([(100, 200), (100, 200)])))
+
+
+@pytest.mark.benchmark(group="E6-range-tree")
+def test_kdtree_query(benchmark):
+    points = make_points(2000)
+    tree = KdTreeIndex(["x", "y"])
+    tree.build_from_points(points)
+    benchmark(lambda: list(tree.range_search([(100, 200), (100, 200)])))
+
+
+def test_space_blowup_matches_paper_shape(capsys):
+    experiment = Experiment(
+        "E6: index memory footprint (16-byte entries)",
+        "range tree grows ~n log n (2-d); kd-tree and grid stay linear",
+        columns=["points", "range_tree_bytes", "kdtree_bytes", "bytes_per_point_rt"],
+    )
+    ratios = []
+    for n in (256, 1024, 4096):
+        points = make_points(n)
+        tree = RangeTreeIndex(["x", "y"])
+        tree.build_from_points(points)
+        kd = KdTreeIndex(["x", "y"])
+        kd.build_from_points(points)
+        per_point = tree.estimated_bytes(16) / n
+        ratios.append(per_point)
+        experiment.add_row(
+            points=n,
+            range_tree_bytes=tree.estimated_bytes(16),
+            kdtree_bytes=kd.estimated_bytes(16),
+            bytes_per_point_rt=per_point,
+        )
+    # Extrapolate the paper's back-of-envelope claim for a high-d tree.
+    n_paper = 100_000
+    d = 4
+    paper_estimate = n_paper * 16 * math.log2(n_paper) ** (d - 1)
+    experiment.add_row(
+        points=n_paper,
+        range_tree_bytes=int(paper_estimate),
+        kdtree_bytes=n_paper * 16,
+        bytes_per_point_rt=paper_estimate / n_paper,
+    )
+    with capsys.disabled():
+        experiment.print()
+        print(
+            f"paper check: a {d}-d tree over 100,000 16-byte entries ≈ "
+            f"{paper_estimate / 2**30:.1f} GiB (the paper says 'about 2 GB')\n"
+        )
+    # Per-point cost must grow with n (super-linear total space).
+    assert ratios[-1] > ratios[0]
+    # And the paper's 2 GB figure is the right order of magnitude.
+    assert 1.0 < paper_estimate / 2**30 < 16.0
+
+
+def test_query_cost_comparison(capsys):
+    points = make_points(4000)
+    rng = random.Random(1)
+    structures = {
+        "range_tree": RangeTreeIndex(["x", "y"]),
+        "kdtree": KdTreeIndex(["x", "y"]),
+    }
+    for s in structures.values():
+        s.build_from_points(points)
+    experiment = Experiment("E6b: 200 range queries over 4000 points", columns=["index", "seconds"])
+    for name, index in structures.items():
+        def run(index=index):
+            for _ in range(200):
+                x = rng.uniform(0, 900)
+                y = rng.uniform(0, 900)
+                list(index.range_search([(x, x + 50), (y, y + 50)]))
+
+        experiment.add_row(index=name, seconds=measure(run, repeat=1, warmup=0))
+    with capsys.disabled():
+        experiment.print()

@@ -1,0 +1,50 @@
+"""E8 — transactions: throughput, abort rate vs. contention (Section 3.1).
+
+Atomic purchase blocks with ``gold >= 0`` / ``stock >= 0`` constraints must
+prevent duping and negative balances; as more buyers contend for the same
+seller's limited stock, the abort rate rises while committed throughput per
+seller stays capped at the stock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import ExecutionMode
+from repro.bench import Experiment
+from repro.workloads import build_marketplace_world
+
+
+@pytest.mark.benchmark(group="E8-transactions")
+@pytest.mark.parametrize("mode", [ExecutionMode.INTERPRETED, ExecutionMode.COMPILED])
+def test_marketplace_tick(benchmark, mode):
+    world = build_marketplace_world(64, buyers_per_item=4, seller_stock=2, mode=mode)
+    benchmark(world.tick)
+
+
+def test_abort_rate_vs_contention(capsys):
+    experiment = Experiment(
+        "E8: transaction outcomes vs contention (stock = 2 per seller)",
+        columns=["buyers_per_item", "submitted", "committed", "aborted", "abort_rate"],
+    )
+    rates = []
+    for contention in (1, 2, 4, 8, 16):
+        world = build_marketplace_world(32, buyers_per_item=contention, seller_stock=2)
+        report = world.tick()
+        tx = world.last_transaction_report
+        rates.append(tx.abort_rate)
+        experiment.add_row(
+            buyers_per_item=contention,
+            submitted=report.transactions_submitted,
+            committed=tx.commit_count,
+            aborted=tx.abort_count,
+            abort_rate=tx.abort_rate,
+        )
+        traders = world.objects("Trader")
+        assert all(t["stock"] >= 0 for t in traders)
+        assert all(t["gold"] >= -1e-9 for t in traders)
+    with capsys.disabled():
+        experiment.print()
+    assert rates[0] == 0.0
+    assert rates[-1] > 0.5
+    assert rates == sorted(rates)

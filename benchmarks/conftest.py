@@ -1,0 +1,18 @@
+"""Shared fixtures and sizing knobs for the benchmark suite.
+
+Sizes are chosen so the whole suite finishes in a few minutes on a laptop;
+every benchmark exposes its sweep parameters so EXPERIMENTS.md can point at
+larger configurations.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Unit counts used by scaling sweeps (kept modest for CI-sized runs).
+SCALING_SIZES = (100, 200, 400)
+
+
+@pytest.fixture(scope="session")
+def scaling_sizes() -> tuple[int, ...]:
+    return SCALING_SIZES

@@ -1,0 +1,38 @@
+"""Marketplace example: atomic exchanges, constraints, and duping prevention.
+
+Demonstrates Section 3.1 of the paper: buyers issue atomic purchase blocks
+with `gold >= 0` and `stock >= 0` constraints; the transaction engine admits
+a consistent subset each tick, so items are never sold twice and balances
+never go negative.
+
+Run with:  python examples/marketplace_transactions.py
+"""
+
+from repro.workloads import build_marketplace_world
+
+
+def main() -> None:
+    world = build_marketplace_world(
+        n_buyers=24, buyers_per_item=6, seller_stock=3, buyer_gold=35.0, price=10.0
+    )
+    print("tick  submitted  committed  aborted  abort_rate")
+    for _ in range(4):
+        report = world.tick()
+        tx = world.last_transaction_report
+        print(
+            f"{report.tick:4d}  {report.transactions_submitted:9d}  {tx.commit_count:9d}  "
+            f"{tx.abort_count:7d}  {tx.abort_rate:10.2f}"
+        )
+
+    traders = world.objects("Trader")
+    sellers = [t for t in traders if t["is_seller"] == 1]
+    buyers = [t for t in traders if t["is_seller"] == 0]
+    print(f"\nsellers: remaining stock {[t['stock'] for t in sellers]}, gold {[t['gold'] for t in sellers]}")
+    print(f"buyers holding items: {sum(1 for b in buyers if b['stock'] > 0)} / {len(buyers)}")
+    assert all(t["stock"] >= 0 for t in traders), "an item was duplicated!"
+    assert all(t["gold"] >= 0 for t in traders), "a balance went negative!"
+    print("invariants hold: no duping, no negative balances.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Quickstart: define a class and a script, run a few ticks, inspect state.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import ExecutionMode, GameWorld
+from repro.runtime.debug import TickInspector
+
+SOURCE = """
+class Unit {
+  state:
+    number player = 0;
+    number x = 0;
+    number y = 0;
+    number health = 100;
+    number range = 6;
+  effects:
+    number damage : sum;
+}
+
+// Figure 2 of the paper: count the enemies in range, then hurt them all a
+// little by proxy (each enemy in range deals one point of damage to us).
+script skirmish(Unit self) {
+  accum number enemies with sum over Unit u from Unit {
+    if (u.player != player &&
+        u.x >= x - range && u.x <= x + range &&
+        u.y >= y - range && u.y <= y + range) {
+      enemies <- 1;
+    }
+  } in {
+    if (enemies > 0) { damage <- enemies; }
+  }
+}
+"""
+
+
+def main() -> None:
+    world = GameWorld(SOURCE, mode=ExecutionMode.COMPILED)
+    # Update rule (Section 2.2 of the paper): health = health - damage.
+    world.add_update_rule("Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0))
+
+    # Two small armies facing each other.
+    for i in range(10):
+        world.spawn("Unit", player=0, x=float(i), y=0.0)
+        world.spawn("Unit", player=1, x=float(i), y=3.0)
+
+    for _ in range(5):
+        report = world.tick()
+        total_health = sum(u["health"] for u in world.objects("Unit"))
+        print(
+            f"tick {report.tick}: {report.effect_assignments} combined effects, "
+            f"total health {total_health}"
+        )
+
+    inspector = TickInspector(world)
+    print("\nEffects received by unit 0 in the last tick:")
+    print(inspector.effects_of("Unit", 0))
+
+
+if __name__ == "__main__":
+    main()

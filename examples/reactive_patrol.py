@@ -1,0 +1,65 @@
+"""Multi-tick and reactive scripting example (Section 3.2).
+
+Guards patrol using a multi-tick script (`waitNextTick` between waypoints).
+A reactive handler watches for damage; when a guard is hurt it interrupts
+the patrol (resets the implicit program counter) and queues a retreat
+effect for the next tick — the paper's interruptible-intention model.
+
+Run with:  python examples/reactive_patrol.py
+"""
+
+from repro import ExecutionMode, GameWorld
+from repro.runtime import Handler
+from repro.sgl.ir import EffectAssignment
+
+SOURCE = """
+class Guard {
+  state:
+    number x = 0;
+    number hp = 10;
+  effects:
+    number vx : sum;
+    number dmg : sum;
+}
+
+// A three-step patrol: advance, advance, hold position.
+script patrol(Guard self) {
+  vx <- 2;
+  waitNextTick;
+  vx <- 2;
+  waitNextTick;
+  vx <- 0;
+}
+"""
+
+
+def main() -> None:
+    world = GameWorld(SOURCE, mode=ExecutionMode.COMPILED)
+    world.add_update_rule("Guard", "x", lambda s, e: s["x"] + e.get("vx", 0))
+    world.add_update_rule("Guard", "hp", lambda s, e: s["hp"] - e.get("dmg", 0))
+    world.add_handler(
+        Handler(
+            name="retreat-when-hurt",
+            class_name="Guard",
+            condition=lambda row: row["hp"] < 10,
+            action=lambda row: [EffectAssignment("Guard", row["id"], "vx", -4)],
+            interrupts=("patrol",),
+        )
+    )
+    guard = world.spawn("Guard")
+
+    for tick in range(6):
+        if tick == 3:
+            # An off-screen attacker wounds the guard between ticks.
+            world.set_state("Guard", guard, hp=6)
+            print("  !! guard takes a hit")
+        world.tick()
+        row = world.get_object("Guard", guard)
+        print(
+            f"tick {tick}: x={row['x']:5.1f}  hp={row['hp']}  "
+            f"patrol step={int(row['__pc_patrol'])}  handlers fired={world.reports[-1].handlers_fired}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim so the package installs offline with `pip install -e .`.
+
+The environment has no network access and no `wheel` package, so PEP 517
+editable builds cannot produce a wheel; the classic ``setup.py develop``
+path used by pip's legacy editable install works with plain setuptools.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

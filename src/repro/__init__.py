@@ -1,0 +1,57 @@
+"""SGL: declarative processing for computer games.
+
+A from-scratch reproduction of "From Declarative Languages to Declarative
+Processing in Computer Games" (Sowell, Demers, Gehrke, Gupta, Li, White —
+CIDR 2009): the SGL scripting language, its compiler to relational algebra,
+a main-memory relational engine with adaptive optimization, and the
+state-effect game runtime with physics, pathfinding, transactions,
+multi-tick and reactive scripting.
+
+Quickstart::
+
+    from repro import GameWorld
+
+    SOURCE = '''
+    class Unit {
+      state:
+        number x = 0;
+        number y = 0;
+        number health = 100;
+        number range = 5;
+      effects:
+        number damage : sum;
+    }
+
+    script brawl(Unit self) {
+      accum number hits with sum over Unit u from Unit {
+        if (u.x >= x - range && u.x <= x + range &&
+            u.y >= y - range && u.y <= y + range) {
+          hits <- 1;
+        }
+      } in {
+        if (hits > 1) { damage <- hits - 1; }
+      }
+    }
+    '''
+
+    world = GameWorld(SOURCE)
+    world.add_update_rule("Unit", "health", lambda s, e: s["health"] - e.get("damage", 0))
+    for i in range(100):
+        world.spawn("Unit", x=float(i % 10), y=float(i // 10))
+    world.run(10)
+"""
+
+from repro.runtime import ExecutionMode, GameWorld, TickReport
+from repro.sgl import SchemaLayout, analyze_program, parse_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionMode",
+    "GameWorld",
+    "TickReport",
+    "SchemaLayout",
+    "analyze_program",
+    "parse_program",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness utilities."""
+
+from repro.bench.harness import Experiment, measure
+
+__all__ = ["Experiment", "measure"]

@@ -1,0 +1,77 @@
+"""A small experiment harness used by the ``benchmarks/`` directory.
+
+pytest-benchmark measures individual operations; the paper-style
+experiments additionally need parameter sweeps that print the table/series
+the paper's claims describe (who wins, by what factor, where the crossover
+falls).  :class:`Experiment` collects rows and renders an aligned text
+table so every benchmark file can end with a human-readable summary that is
+also easy to diff across runs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+__all__ = ["measure", "Experiment"]
+
+
+def measure(fn: Callable[[], Any], repeat: int = 3, warmup: int = 1) -> float:
+    """Best-of-*repeat* wall-clock seconds for ``fn()`` after warm-up runs."""
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+@dataclass
+class Experiment:
+    """Accumulates result rows for one experiment and renders them."""
+
+    name: str
+    description: str = ""
+    columns: Sequence[str] = ()
+    rows: list[Mapping[str, Any]] = field(default_factory=list)
+
+    def add_row(self, **values: Any) -> None:
+        self.rows.append(values)
+        if not self.columns:
+            self.columns = list(values)
+
+    def render(self) -> str:
+        """Render the collected rows as an aligned text table."""
+        columns = list(self.columns) or sorted({k for row in self.rows for k in row})
+        header = [self.name]
+        if self.description:
+            header.append(self.description)
+        widths = {c: len(c) for c in columns}
+        formatted_rows = []
+        for row in self.rows:
+            formatted = {c: self._format(row.get(c)) for c in columns}
+            formatted_rows.append(formatted)
+            for c in columns:
+                widths[c] = max(widths[c], len(formatted[c]))
+        lines = list(header)
+        lines.append("  ".join(c.ljust(widths[c]) for c in columns))
+        lines.append("  ".join("-" * widths[c] for c in columns))
+        for formatted in formatted_rows:
+            lines.append("  ".join(formatted[c].ljust(widths[c]) for c in columns))
+        return "\n".join(lines)
+
+    def print(self) -> None:  # pragma: no cover - console convenience
+        print("\n" + self.render() + "\n")
+
+    @staticmethod
+    def _format(value: Any) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value != 0 and (abs(value) < 0.001 or abs(value) >= 100000):
+                return f"{value:.3e}"
+            return f"{value:.4f}".rstrip("0").rstrip(".")
+        return str(value)

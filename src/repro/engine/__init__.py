@@ -1,0 +1,114 @@
+"""Main-memory relational engine substrate.
+
+This package is the "special games engine with features similar to a main
+memory database system" the paper builds SGL on: typed schemas, tables with
+index maintenance and tick snapshots, a logical relational algebra,
+physical operators, spatial and relational indexes, statistics, a
+cost-based and adaptive optimizer, and serial/parallel/distributed
+executors.
+"""
+
+from repro.engine.aggregates import AGGREGATE_NAMES, Accumulator, combine_values, make_accumulator
+from repro.engine.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Select,
+    Sort,
+    SortKey,
+    TableScan,
+    Union,
+    Values,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.errors import (
+    CatalogError,
+    ConstraintViolation,
+    EngineError,
+    ExecutionError,
+    ExpressionError,
+    OptimizerError,
+    PlanError,
+    SchemaError,
+    TypeMismatchError,
+)
+from repro.engine.executor import Executor, QueryResult
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Conditional,
+    Expression,
+    FunctionCall,
+    Literal,
+    SetLiteral,
+    UnaryOp,
+    Variable,
+    and_all,
+    col,
+    lit,
+    var,
+)
+from repro.engine.optimizer import AdaptiveQueryManager, ExecutionFeedback, Planner
+from repro.engine.parallel import ParallelResult, PartitionedExecutor
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType, Ref
+
+__all__ = [
+    "AGGREGATE_NAMES",
+    "Accumulator",
+    "combine_values",
+    "make_accumulator",
+    "Aggregate",
+    "AggregateSpec",
+    "Distinct",
+    "Join",
+    "Limit",
+    "LogicalPlan",
+    "Project",
+    "Select",
+    "Sort",
+    "SortKey",
+    "TableScan",
+    "Union",
+    "Values",
+    "Catalog",
+    "CatalogError",
+    "ConstraintViolation",
+    "EngineError",
+    "ExecutionError",
+    "ExpressionError",
+    "OptimizerError",
+    "PlanError",
+    "SchemaError",
+    "TypeMismatchError",
+    "Executor",
+    "QueryResult",
+    "BinaryOp",
+    "ColumnRef",
+    "Conditional",
+    "Expression",
+    "FunctionCall",
+    "Literal",
+    "SetLiteral",
+    "UnaryOp",
+    "Variable",
+    "and_all",
+    "col",
+    "lit",
+    "var",
+    "AdaptiveQueryManager",
+    "ExecutionFeedback",
+    "Planner",
+    "ParallelResult",
+    "PartitionedExecutor",
+    "Column",
+    "Schema",
+    "Table",
+    "DataType",
+    "Ref",
+]

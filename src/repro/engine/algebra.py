@@ -1,0 +1,394 @@
+"""Logical relational algebra.
+
+The SGL compiler translates the query and effect steps of a script into a
+tree of these nodes (Section 2 of the paper).  The optimizer rewrites the
+tree (predicate pushdown, join reordering, index selection) and the planner
+lowers it into physical operators from :mod:`repro.engine.operators`.
+
+Nodes are immutable; rewrites build new trees.  Each node can infer its
+output schema given a :class:`~repro.engine.catalog.Catalog`, which is what
+lets the compiler stay entirely ignorant of the physical layout chosen by
+the schema generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.errors import PlanError
+from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType
+
+__all__ = [
+    "LogicalPlan",
+    "TableScan",
+    "Values",
+    "Select",
+    "Project",
+    "Join",
+    "Aggregate",
+    "AggregateSpec",
+    "Sort",
+    "SortKey",
+    "Limit",
+    "Distinct",
+    "Union",
+    "explain",
+]
+
+
+class LogicalPlan:
+    """Base class for logical plan nodes."""
+
+    def children(self) -> tuple["LogicalPlan", ...]:
+        return ()
+
+    def with_children(self, children: Sequence["LogicalPlan"]) -> "LogicalPlan":
+        """Return a copy of this node with *children* substituted."""
+        if children:
+            raise PlanError(f"{type(self).__name__} takes no children")
+        return self
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        raise NotImplementedError
+
+    def node_label(self) -> str:
+        """One-line description used by ``explain``."""
+        return type(self).__name__
+
+    # -- traversal helpers -----------------------------------------------------------
+
+    def walk(self) -> Iterable["LogicalPlan"]:
+        """Yield this node and all descendants, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def referenced_tables(self) -> set[str]:
+        """Names of all base tables scanned anywhere in the tree."""
+        return {node.table_name for node in self.walk() if isinstance(node, TableScan)}
+
+
+class TableScan(LogicalPlan):
+    """Scan a base table from the catalog, optionally under an alias.
+
+    With an alias, output columns are qualified ``alias.column`` so that
+    self-joins (ubiquitous in SGL: "for each unit, the other units in
+    range") produce unambiguous schemas.
+    """
+
+    def __init__(self, table_name: str, alias: str | None = None):
+        self.table_name = table_name
+        self.alias = alias
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        schema = catalog.table(self.table_name).schema
+        if self.alias:
+            return schema.qualify(self.alias)
+        return schema
+
+    def node_label(self) -> str:
+        if self.alias and self.alias != self.table_name:
+            return f"TableScan({self.table_name} AS {self.alias})"
+        return f"TableScan({self.table_name})"
+
+    def __repr__(self) -> str:
+        return self.node_label()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TableScan)
+            and other.table_name == self.table_name
+            and other.alias == self.alias
+        )
+
+    def __hash__(self) -> int:
+        return hash(("scan", self.table_name, self.alias))
+
+
+class Values(LogicalPlan):
+    """An inline relation with a fixed list of rows (used in tests and by
+    the transaction engine to evaluate candidate write sets)."""
+
+    def __init__(self, schema: Schema, rows: Sequence[Mapping[str, Any]]):
+        self.schema = schema
+        self.rows = tuple(dict(r) for r in rows)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.schema
+
+    def node_label(self) -> str:
+        return f"Values({len(self.rows)} rows)"
+
+
+class Select(LogicalPlan):
+    """Filter rows by a boolean predicate expression."""
+
+    def __init__(self, child: LogicalPlan, predicate: Expression):
+        self.child = child
+        self.predicate = predicate
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Select":
+        (child,) = children
+        return Select(child, self.predicate)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def node_label(self) -> str:
+        return f"Select({self.predicate!r})"
+
+
+class Project(LogicalPlan):
+    """Compute output columns from expressions over the input row.
+
+    ``projections`` maps output column name → expression.  Types are
+    inferred from the expressions; pass ``types`` to override.
+    """
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        projections: Mapping[str, Expression] | Sequence[tuple[str, Expression]],
+        types: Mapping[str, DataType] | None = None,
+    ):
+        self.child = child
+        if isinstance(projections, Mapping):
+            items = list(projections.items())
+        else:
+            items = list(projections)
+        self.projections: tuple[tuple[str, Expression], ...] = tuple(items)
+        self.types = dict(types or {})
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Project":
+        (child,) = children
+        return Project(child, self.projections, self.types)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        cols = []
+        for name, expr in self.projections:
+            dtype = self.types.get(name, expr.result_type())
+            cols.append(Column(name, dtype))
+        return Schema(cols)
+
+    def node_label(self) -> str:
+        names = ", ".join(name for name, _ in self.projections)
+        return f"Project({names})"
+
+    @staticmethod
+    def identity(child: LogicalPlan, names: Sequence[str]) -> "Project":
+        """Project that simply keeps the named columns."""
+        return Project(child, [(n, ColumnRef(n)) for n in names])
+
+
+class Join(LogicalPlan):
+    """Join two inputs on a boolean condition.
+
+    ``how`` is ``"inner"``, ``"left"`` (left outer) or ``"cross"``.  The
+    condition may be any expression over the concatenated schemas; the
+    physical planner recognises equi-join and band-join (spatial range)
+    shapes and picks hash or index joins accordingly.
+    """
+
+    def __init__(
+        self,
+        left: LogicalPlan,
+        right: LogicalPlan,
+        condition: Expression | None = None,
+        how: str = "inner",
+    ):
+        if how not in ("inner", "left", "cross"):
+            raise PlanError(f"unsupported join type {how!r}")
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.how = how
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Join":
+        left, right = children
+        return Join(left, right, self.condition, self.how)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.left.output_schema(catalog).concat(self.right.output_schema(catalog))
+
+    def node_label(self) -> str:
+        cond = "" if self.condition is None else f", on={self.condition!r}"
+        return f"Join({self.how}{cond})"
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: ``name = func(argument)``.
+
+    ``func`` is any combinator known to :mod:`repro.runtime.effects`
+    (``sum``, ``avg``, ``min``, ``max``, ``count``, ``any``, ``all``,
+    ``union``, ``choose`` …).  ``argument`` may be ``None`` for ``count``.
+    """
+
+    name: str
+    func: str
+    argument: Expression | None = None
+
+    def label(self) -> str:
+        arg = "*" if self.argument is None else repr(self.argument)
+        return f"{self.name}={self.func}({arg})"
+
+
+class Aggregate(LogicalPlan):
+    """Group rows by ``group_by`` columns and compute aggregates.
+
+    This is the node the SGL compiler produces for effect combination and
+    for accum-loops (Figure 2): grouping by the acting object's key and
+    combining all assigned values with the declared combinator.
+    """
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+    ):
+        self.child = child
+        self.group_by = tuple(group_by)
+        self.aggregates = tuple(aggregates)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Aggregate":
+        (child,) = children
+        return Aggregate(child, self.group_by, self.aggregates)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        cols = [child_schema.column(g) for g in self.group_by]
+        for spec in self.aggregates:
+            dtype = DataType.NUMBER
+            if spec.func in ("any", "all"):
+                dtype = DataType.BOOL
+            elif spec.func in ("union", "collect"):
+                dtype = DataType.SET
+            elif spec.func == "choose":
+                dtype = DataType.ANY
+            cols.append(Column(spec.name, dtype))
+        return Schema(cols)
+
+    def node_label(self) -> str:
+        aggs = ", ".join(spec.label() for spec in self.aggregates)
+        return f"Aggregate(by=[{', '.join(self.group_by)}], {aggs})"
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """A sort key: an expression and a direction."""
+
+    expression: Expression
+    ascending: bool = True
+
+
+class Sort(LogicalPlan):
+    """Sort rows by one or more keys."""
+
+    def __init__(self, child: LogicalPlan, keys: Sequence[SortKey]):
+        self.child = child
+        self.keys = tuple(keys)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Sort":
+        (child,) = children
+        return Sort(child, self.keys)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{k.expression!r}{'' if k.ascending else ' DESC'}" for k in self.keys
+        )
+        return f"Sort({keys})"
+
+
+class Limit(LogicalPlan):
+    """Keep only the first *count* rows."""
+
+    def __init__(self, child: LogicalPlan, count: int):
+        if count < 0:
+            raise PlanError("limit must be non-negative")
+        self.child = child
+        self.count = count
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Limit":
+        (child,) = children
+        return Limit(child, self.count)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+    def node_label(self) -> str:
+        return f"Limit({self.count})"
+
+
+class Distinct(LogicalPlan):
+    """Remove duplicate rows."""
+
+    def __init__(self, child: LogicalPlan):
+        self.child = child
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Distinct":
+        (child,) = children
+        return Distinct(child)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.child.output_schema(catalog)
+
+
+class Union(LogicalPlan):
+    """Bag union of two inputs with identical column names."""
+
+    def __init__(self, left: LogicalPlan, right: LogicalPlan):
+        self.left = left
+        self.right = right
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Union":
+        left, right = children
+        return Union(left, right)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        left_schema = self.left.output_schema(catalog)
+        right_schema = self.right.output_schema(catalog)
+        if left_schema.names != right_schema.names:
+            raise PlanError(
+                f"union inputs differ: {left_schema.names} vs {right_schema.names}"
+            )
+        return left_schema
+
+
+def explain(plan: LogicalPlan, indent: int = 0) -> str:
+    """Render a logical plan as an indented tree (used by the debugger)."""
+    lines = [("  " * indent) + plan.node_label()]
+    for child in plan.children():
+        lines.append(explain(child, indent + 1))
+    return "\n".join(lines)

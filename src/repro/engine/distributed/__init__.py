@@ -1,0 +1,18 @@
+"""Shared-nothing cluster simulation: partitioning, network model,
+distributed execution and distributed range indexes (Section 4.2)."""
+
+from repro.engine.distributed.cluster import Cluster, ClusterNode, DistributedTickResult
+from repro.engine.distributed.dist_index import DistributedRangeIndex
+from repro.engine.distributed.network import NetworkModel, NetworkStats
+from repro.engine.distributed.partitioner import HashPartitioner, SpatialPartitioner
+
+__all__ = [
+    "Cluster",
+    "ClusterNode",
+    "DistributedTickResult",
+    "DistributedRangeIndex",
+    "NetworkModel",
+    "NetworkStats",
+    "HashPartitioner",
+    "SpatialPartitioner",
+]

@@ -1,0 +1,92 @@
+"""Partitioning a multi-dimensional range-tree index across cluster nodes.
+
+Section 4.2: a d-dimensional orthogonal range tree over n entries takes
+Θ(n log^{d-1} n) space — "a tree with 100,000 entries of 16 bytes each
+takes about 2 GB … thus an interesting research question is to consider
+techniques to partition indices across multiple nodes."
+
+:class:`DistributedRangeIndex` partitions the point set into spatial strips
+(one per node) and builds an independent
+:class:`~repro.engine.indexes.range_tree.RangeTreeIndex` per node.  Range
+queries are routed only to the nodes whose strips overlap the query box;
+the per-node memory footprint and routing fan-out are what experiment E7
+reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.distributed.network import NetworkModel
+from repro.engine.distributed.partitioner import SpatialPartitioner
+from repro.engine.indexes.range_tree import RangeTreeIndex
+
+__all__ = ["DistributedRangeIndex"]
+
+
+class DistributedRangeIndex:
+    """A spatially partitioned orthogonal range tree."""
+
+    def __init__(
+        self,
+        columns: Sequence[str],
+        partitioner: SpatialPartitioner,
+        network: NetworkModel | None = None,
+    ):
+        self.columns = tuple(columns)
+        self.partitioner = partitioner
+        self.network = network or NetworkModel()
+        self._shards: list[RangeTreeIndex] = [
+            RangeTreeIndex(columns) for _ in range(partitioner.n_partitions)
+        ]
+        self._shard_points: list[list[tuple[tuple[float, ...], Any]]] = [
+            [] for _ in range(partitioner.n_partitions)
+        ]
+
+    # -- building ------------------------------------------------------------------------
+
+    def build(self, points: Sequence[tuple[Sequence[float], Any]]) -> None:
+        """Partition *points* by the first coordinate and build per-node trees."""
+        self._shard_points = [[] for _ in range(self.partitioner.n_partitions)]
+        for coords, payload in points:
+            shard = self.partitioner.partition_for_value(float(coords[0]))
+            self._shard_points[shard].append((tuple(float(c) for c in coords), payload))
+        for shard, shard_points in enumerate(self._shard_points):
+            self._shards[shard].build_from_points(shard_points)
+
+    # -- queries --------------------------------------------------------------------------
+
+    def range_search(self, bounds: Sequence[tuple[Any, Any]]) -> Iterator[Any]:
+        """Query all shards overlapping *bounds*; charge one message per shard."""
+        targets = self.partitioner.partitions_for_range(bounds)
+        for shard in targets:
+            results = list(self._shards[shard].range_search(bounds))
+            self.network.send_rows(results if results else [{}])
+            yield from results
+
+    def shards_for_query(self, bounds: Sequence[tuple[Any, Any]]) -> list[int]:
+        """Which shards a query touches (routing fan-out, no network charge)."""
+        return self.partitioner.partitions_for_range(bounds)
+
+    # -- accounting -----------------------------------------------------------------------
+
+    @property
+    def n_shards(self) -> int:
+        return len(self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(points) for points in self._shard_points]
+
+    def shard_node_counts(self) -> list[int]:
+        return [shard.node_count() for shard in self._shards]
+
+    def shard_bytes(self, entry_size: int = 16) -> list[int]:
+        """Estimated memory per node — the quantity that must fit in RAM."""
+        return [shard.estimated_bytes(entry_size) for shard in self._shards]
+
+    def total_bytes(self, entry_size: int = 16) -> int:
+        return sum(self.shard_bytes(entry_size))
+
+    def max_shard_bytes(self, entry_size: int = 16) -> int:
+        sizes = self.shard_bytes(entry_size)
+        return max(sizes) if sizes else 0

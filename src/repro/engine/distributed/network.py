@@ -1,0 +1,78 @@
+"""A simple discrete network model for the shared-nothing cluster simulation.
+
+The paper (Section 4.2) asks how SGL should run on a shared-nothing cluster
+and observes that the interesting parameters are latency, update conflicts
+and rollbacks, and that "different games are sensitive to these parameters
+in different ways".  Real NICs are not available in this reproduction, so
+the cluster simulation charges every message a configurable latency and a
+per-byte transfer cost and keeps global counters; experiment E7 sweeps the
+latency parameter and reports how the achievable tick rate degrades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["NetworkModel", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by a :class:`NetworkModel`."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    simulated_seconds: float = 0.0
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.simulated_seconds = 0.0
+
+
+@dataclass
+class NetworkModel:
+    """Charges latency and bandwidth costs for messages between nodes.
+
+    ``latency_s`` is the one-way message latency; ``bandwidth_bytes_per_s``
+    of ``None`` means transfer time is ignored.  ``estimate_row_bytes``
+    controls how a row dict is converted to a byte count.
+    """
+
+    latency_s: float = 0.0005
+    bandwidth_bytes_per_s: float | None = 1e9
+    estimate_row_bytes: int = 64
+    stats: NetworkStats = field(default_factory=NetworkStats)
+
+    def message_cost(self, payload_bytes: int) -> float:
+        """Simulated seconds to deliver one message of *payload_bytes*."""
+        cost = self.latency_s
+        if self.bandwidth_bytes_per_s:
+            cost += payload_bytes / self.bandwidth_bytes_per_s
+        return cost
+
+    def send(self, payload_bytes: int) -> float:
+        """Record one message; return its simulated delivery time."""
+        cost = self.message_cost(payload_bytes)
+        self.stats.messages += 1
+        self.stats.bytes_sent += payload_bytes
+        self.stats.simulated_seconds += cost
+        return cost
+
+    def send_rows(self, rows: list[dict[str, Any]]) -> float:
+        """Record shipping a batch of rows as a single message."""
+        return self.send(max(1, len(rows)) * self.estimate_row_bytes)
+
+    def broadcast(self, payload_bytes: int, n_receivers: int) -> float:
+        """Record a broadcast; returns the time until the last receiver has it
+        (messages go out in parallel, so latency is paid once)."""
+        total_bytes = payload_bytes * n_receivers
+        self.stats.messages += n_receivers
+        self.stats.bytes_sent += total_bytes
+        cost = self.message_cost(payload_bytes)
+        self.stats.simulated_seconds += cost
+        return cost
+
+    def reset(self) -> None:
+        self.stats.reset()

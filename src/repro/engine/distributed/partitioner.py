@@ -1,0 +1,69 @@
+"""Data partitioning strategies for the shared-nothing cluster.
+
+Two strategies cover the workloads in the paper:
+
+* :class:`HashPartitioner` — partition game objects by hashing their key;
+  good for load balance, but spatial queries must be broadcast.
+* :class:`SpatialPartitioner` — partition the world into equal-width strips
+  along one axis; spatial range queries only touch the strips overlapping
+  the query box (plus a ghost margin), which is what makes partitioning the
+  big orthogonal range-tree indices across nodes effective (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping, Sequence
+
+__all__ = ["HashPartitioner", "SpatialPartitioner"]
+
+
+@dataclass(frozen=True)
+class HashPartitioner:
+    """Assigns rows to partitions by hashing a key column."""
+
+    key_column: str
+    n_partitions: int
+
+    def partition_of(self, row: Mapping[str, Any]) -> int:
+        return hash(row[self.key_column]) % self.n_partitions
+
+    def partitions_for_range(self, bounds: Sequence[tuple[Any, Any]]) -> list[int]:
+        """Hash partitioning cannot prune range queries: all partitions."""
+        return list(range(self.n_partitions))
+
+
+@dataclass(frozen=True)
+class SpatialPartitioner:
+    """Splits one spatial axis into ``n_partitions`` equal-width strips."""
+
+    axis_column: str
+    n_partitions: int
+    world_min: float = 0.0
+    world_max: float = 1000.0
+
+    @property
+    def strip_width(self) -> float:
+        return (self.world_max - self.world_min) / self.n_partitions
+
+    def partition_of(self, row: Mapping[str, Any]) -> int:
+        value = float(row[self.axis_column])
+        return self.partition_for_value(value)
+
+    def partition_for_value(self, value: float) -> int:
+        width = self.strip_width
+        if width <= 0:
+            return 0
+        index = int((value - self.world_min) // width)
+        return max(0, min(self.n_partitions - 1, index))
+
+    def partitions_for_range(self, bounds: Sequence[tuple[Any, Any]]) -> list[int]:
+        """Partitions overlapping the query's bound on the partitioned axis.
+
+        ``bounds`` follows the index convention (one ``(low, high)`` pair per
+        dimension); only the first pair — the partitioned axis — is used.
+        """
+        low, high = bounds[0]
+        low_p = 0 if low is None else self.partition_for_value(float(low))
+        high_p = self.n_partitions - 1 if high is None else self.partition_for_value(float(high))
+        return list(range(min(low_p, high_p), max(low_p, high_p) + 1))

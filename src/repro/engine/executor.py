@@ -1,0 +1,133 @@
+"""Query execution facade.
+
+:class:`Executor` ties the catalog, planner and physical operators together
+and adds the plan cache the tick loop relies on: the same logical query is
+executed at every tick (Section 4.1), so plans are compiled once and reused
+until the catalog shape changes or the caller invalidates them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.engine.algebra import LogicalPlan
+from repro.engine.catalog import Catalog
+from repro.engine.errors import ExecutionError
+from repro.engine.operators import PhysicalOperator
+from repro.engine.optimizer.planner import PlannedQuery, Planner
+
+__all__ = ["Executor", "QueryResult"]
+
+
+@dataclass
+class QueryResult:
+    """Materialized result rows plus execution metadata."""
+
+    rows: list[dict[str, Any]]
+    runtime: float
+    planned: PlannedQuery
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column as a list (resolving unqualified names)."""
+        out = []
+        for row in self.rows:
+            if name in row:
+                out.append(row[name])
+                continue
+            matches = [k for k in row if k.split(".")[-1] == name]
+            if len(matches) != 1:
+                raise ExecutionError(f"cannot resolve column {name!r} in result")
+            out.append(row[matches[0]])
+        return out
+
+    def scalar(self) -> Any:
+        """Return the single value of a single-row, single-column result."""
+        if len(self.rows) != 1:
+            raise ExecutionError(f"expected exactly one row, got {len(self.rows)}")
+        row = self.rows[0]
+        if len(row) != 1:
+            raise ExecutionError(f"expected exactly one column, got {list(row)}")
+        return next(iter(row.values()))
+
+
+@dataclass
+class _CachedPlan:
+    planned: PlannedQuery
+    executions: int = 0
+    total_runtime: float = 0.0
+
+
+class Executor:
+    """Plans and executes logical plans against a catalog, caching plans."""
+
+    def __init__(self, catalog: Catalog, optimize: bool = True, use_indexes: bool = True):
+        self.catalog = catalog
+        self.planner = Planner(catalog, optimize=optimize, use_indexes=use_indexes)
+        self._cache: dict[int, _CachedPlan] = {}
+
+    # -- planning ---------------------------------------------------------------------
+
+    def prepare(self, plan: LogicalPlan, cache: bool = True) -> PlannedQuery:
+        """Plan a query, consulting / populating the plan cache."""
+        key = id(plan)
+        if cache and key in self._cache:
+            return self._cache[key].planned
+        planned = self.planner.plan(plan)
+        if cache:
+            self._cache[key] = _CachedPlan(planned)
+        return planned
+
+    def invalidate(self, plan: LogicalPlan | None = None) -> None:
+        """Drop one cached plan or the whole cache."""
+        if plan is None:
+            self._cache.clear()
+        else:
+            self._cache.pop(id(plan), None)
+
+    # -- execution ----------------------------------------------------------------------
+
+    def execute(self, plan: LogicalPlan, cache: bool = True) -> QueryResult:
+        """Plan (or reuse a cached plan for) and execute *plan*."""
+        planned = self.prepare(plan, cache=cache)
+        return self.execute_planned(planned, cache_key=id(plan) if cache else None)
+
+    def execute_planned(
+        self, planned: PlannedQuery, cache_key: int | None = None
+    ) -> QueryResult:
+        start = time.perf_counter()
+        rows = planned.physical.rows()
+        runtime = time.perf_counter() - start
+        if cache_key is not None and cache_key in self._cache:
+            entry = self._cache[cache_key]
+            entry.executions += 1
+            entry.total_runtime += runtime
+        return QueryResult(rows=rows, runtime=runtime, planned=planned)
+
+    def execute_physical(self, physical: PhysicalOperator) -> list[dict[str, Any]]:
+        """Run an already-lowered operator tree (used by the parallel executor)."""
+        return physical.rows()
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def cache_report(self) -> list[dict[str, Any]]:
+        """Execution counts and mean runtimes of cached plans."""
+        report = []
+        for entry in self._cache.values():
+            mean = entry.total_runtime / entry.executions if entry.executions else 0.0
+            report.append(
+                {
+                    "plan": entry.planned.optimized.node_label(),
+                    "executions": entry.executions,
+                    "mean_runtime": mean,
+                    "estimated_cost": entry.planned.estimated.cost,
+                }
+            )
+        return report

@@ -1,0 +1,72 @@
+"""Hash index on one or more columns (equality lookups)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.table import RowId, Table, TableIndex
+
+__all__ = ["HashIndex"]
+
+
+class HashIndex(TableIndex):
+    """Maps a tuple of column values to the set of row ids holding it.
+
+    Single-column indexes accept a bare value as the lookup key; composite
+    indexes require a tuple in column order.
+    """
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = tuple(columns)
+        self._buckets: dict[tuple[Any, ...], set[RowId]] = defaultdict(set)
+
+    def _key(self, row: Mapping[str, Any]) -> tuple[Any, ...]:
+        return tuple(row[c] for c in self.columns)
+
+    def on_insert(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        self._buckets[self._key(row)].add(rowid)
+
+    def on_delete(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        key = self._key(row)
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[key]
+
+    def rebuild(self, table: Table) -> None:
+        self._buckets = defaultdict(set)
+        resolved = tuple(table.schema.resolve(c) for c in self.columns)
+        self.columns = resolved
+        for rowid in table.row_ids():
+            self.on_insert(rowid, table.get(rowid))
+
+    def lookup(self, key: Any) -> Iterator[RowId]:
+        """Yield row ids whose indexed columns equal *key*."""
+        if not isinstance(key, tuple):
+            key = (key,)
+        yield from self._buckets.get(key, ())
+
+    def range_search(self, bounds: Sequence[tuple[Any, Any]]) -> Iterator[RowId]:
+        """Linear fallback: scan all buckets checking per-column bounds."""
+        for key, rowids in self._buckets.items():
+            ok = True
+            for value, (low, high) in zip(key, bounds):
+                if value is None:
+                    ok = False
+                    break
+                if low is not None and value < low:
+                    ok = False
+                    break
+                if high is not None and value > high:
+                    ok = False
+                    break
+            if ok:
+                yield from rowids
+
+    def __len__(self) -> int:
+        return sum(len(b) for b in self._buckets.values())
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)

@@ -1,0 +1,174 @@
+"""k-d tree spatial index.
+
+An alternative to the orthogonal range tree (Section 4.2) with linear
+space and O(n^{1-1/d} + k) range query time.  Experiment E6 compares the
+two structures' memory footprint and query cost — the range tree trades a
+Θ(log^{d-1} n) space blow-up for asymptotically faster queries, which is
+exactly the trade-off that motivates partitioning indices across cluster
+nodes in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.table import RowId, Table, TableIndex
+
+__all__ = ["KdTreeIndex"]
+
+
+class _KdNode:
+    __slots__ = ("point", "payload", "axis", "left", "right")
+
+    def __init__(self, point: tuple[float, ...], payload: Any, axis: int):
+        self.point = point
+        self.payload = payload
+        self.axis = axis
+        self.left: "_KdNode | None" = None
+        self.right: "_KdNode | None" = None
+
+
+class KdTreeIndex(TableIndex):
+    """A k-d tree over *d* numeric columns, rebuilt lazily on mutation."""
+
+    def __init__(self, columns: Sequence[str]):
+        if not columns:
+            raise ValueError("kd-tree needs at least one column")
+        self.columns = tuple(columns)
+        self._table: Table | None = None
+        self._root: _KdNode | None = None
+        self._dirty = True
+        self._size = 0
+
+    # -- TableIndex protocol ----------------------------------------------------------
+
+    def on_insert(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        self._dirty = True
+
+    def on_delete(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        self._dirty = True
+
+    def on_update(self, rowid: RowId, old: Mapping[str, Any], new: Mapping[str, Any]) -> None:
+        self._dirty = True
+
+    def rebuild(self, table: Table) -> None:
+        self.columns = tuple(table.schema.resolve(c) for c in self.columns)
+        self._table = table
+        self._dirty = True
+
+    # -- building -----------------------------------------------------------------------
+
+    def _ensure_built(self) -> None:
+        if not self._dirty or self._table is None:
+            return
+        points: list[tuple[tuple[float, ...], RowId]] = []
+        for rowid in self._table.row_ids():
+            row = self._table.get(rowid)
+            coords = []
+            ok = True
+            for column in self.columns:
+                value = row[column]
+                if value is None:
+                    ok = False
+                    break
+                coords.append(float(value))
+            if ok:
+                points.append((tuple(coords), rowid))
+        self.build_from_points(points)
+
+    def build_from_points(self, points: Sequence[tuple[Sequence[float], Any]]) -> None:
+        """Bulk-build the tree from ``(coords, payload)`` pairs."""
+        normalized = [(tuple(float(c) for c in coords), payload) for coords, payload in points]
+        self._size = len(normalized)
+        self._root = self._build(normalized, 0)
+        self._dirty = False
+
+    def _build(self, points: list[tuple[tuple[float, ...], Any]], depth: int) -> _KdNode | None:
+        if not points:
+            return None
+        axis = depth % len(self.columns)
+        points.sort(key=lambda p: p[0][axis])
+        mid = len(points) // 2
+        point, payload = points[mid]
+        node = _KdNode(point, payload, axis)
+        node.left = self._build(points[:mid], depth + 1)
+        node.right = self._build(points[mid + 1 :], depth + 1)
+        return node
+
+    # -- queries --------------------------------------------------------------------------
+
+    def lookup(self, key: Any) -> Iterator[RowId]:
+        if not isinstance(key, tuple):
+            key = (key,)
+        bounds = [(k, k) for k in key]
+        yield from self.range_search(bounds)
+
+    def range_search(self, bounds: Sequence[tuple[Any, Any]]) -> Iterator[RowId]:
+        self._ensure_built()
+        normalized: list[tuple[float | None, float | None]] = []
+        for low, high in bounds:
+            normalized.append(
+                (None if low is None else float(low), None if high is None else float(high))
+            )
+        while len(normalized) < len(self.columns):
+            normalized.append((None, None))
+        yield from self._search(self._root, normalized)
+
+    def _search(
+        self, node: _KdNode | None, bounds: Sequence[tuple[float | None, float | None]]
+    ) -> Iterator[RowId]:
+        if node is None:
+            return
+        inside = True
+        for value, (low, high) in zip(node.point, bounds):
+            if low is not None and value < low:
+                inside = False
+                break
+            if high is not None and value > high:
+                inside = False
+                break
+        if inside:
+            yield node.payload
+        axis = node.axis
+        low, high = bounds[axis]
+        if low is None or node.point[axis] >= low:
+            yield from self._search(node.left, bounds)
+        if high is None or node.point[axis] <= high:
+            yield from self._search(node.right, bounds)
+
+    def nearest(self, coords: Sequence[float]) -> Any | None:
+        """Return the payload of the point nearest to *coords* (L2 distance)."""
+        self._ensure_built()
+        best: list[Any] = [None, float("inf")]
+        target = tuple(float(c) for c in coords)
+
+        def visit(node: _KdNode | None) -> None:
+            if node is None:
+                return
+            dist = sum((a - b) ** 2 for a, b in zip(node.point, target))
+            if dist < best[1]:
+                best[0], best[1] = node.payload, dist
+            axis = node.axis
+            diff = target[axis] - node.point[axis]
+            near, far = (node.left, node.right) if diff <= 0 else (node.right, node.left)
+            visit(near)
+            if diff * diff < best[1]:
+                visit(far)
+
+        visit(self._root)
+        return best[0]
+
+    # -- accounting -------------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        self._ensure_built()
+        return self._size
+
+    def node_count(self) -> int:
+        """Number of stored nodes (equal to the number of points: linear space)."""
+        self._ensure_built()
+        return self._size
+
+    def estimated_bytes(self, entry_size: int = 16) -> int:
+        """Estimated memory assuming *entry_size* bytes per stored entry."""
+        return self.node_count() * entry_size

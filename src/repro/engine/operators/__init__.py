@@ -1,0 +1,40 @@
+"""Physical query operators (iterator model)."""
+
+from repro.engine.operators.aggregate import HashAggregateOp
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.operators.filter import FilterOp, ProjectOp
+from repro.engine.operators.joins import (
+    BandJoinOp,
+    CrossJoinOp,
+    HashJoinOp,
+    IndexNestedLoopJoinOp,
+    NestedLoopJoinOp,
+    RangeProbeJoinOp,
+)
+from repro.engine.operators.misc import DistinctOp, LimitOp, SortOp, UnionOp
+from repro.engine.operators.scan import (
+    IndexEqualityScanOp,
+    IndexRangeScanOp,
+    TableScanOp,
+    ValuesOp,
+)
+
+__all__ = [
+    "PhysicalOperator",
+    "TableScanOp",
+    "ValuesOp",
+    "IndexEqualityScanOp",
+    "IndexRangeScanOp",
+    "FilterOp",
+    "ProjectOp",
+    "NestedLoopJoinOp",
+    "HashJoinOp",
+    "IndexNestedLoopJoinOp",
+    "BandJoinOp",
+    "CrossJoinOp",
+    "HashAggregateOp",
+    "SortOp",
+    "LimitOp",
+    "DistinctOp",
+    "UnionOp",
+]

@@ -1,0 +1,65 @@
+"""Hash aggregation operator."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.engine.aggregates import make_accumulator
+from repro.engine.algebra import AggregateSpec
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.schema import Schema
+
+__all__ = ["HashAggregateOp"]
+
+
+class HashAggregateOp(PhysicalOperator):
+    """Group rows by key columns and fold aggregates incrementally.
+
+    This operator implements both SQL-style GROUP BY and the effect
+    combination of the state-effect pattern: group by the target object's
+    key, combine every assigned effect value with the declared combinator.
+    With an empty ``group_by`` the whole input forms a single group and one
+    row is always produced (matching SQL's global-aggregate semantics).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        group_by: Sequence[str],
+        aggregates: Sequence[AggregateSpec],
+        schema: Schema,
+    ):
+        super().__init__(schema, (child,))
+        self.group_by = list(group_by)
+        self.aggregates = list(aggregates)
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        child_schema = self.children[0].schema
+        resolved_group = [child_schema.resolve(g) for g in self.group_by]
+        groups: dict[tuple[Any, ...], list[Any]] = {}
+        accumulators: dict[tuple[Any, ...], list[Any]] = {}
+        group_rows: dict[tuple[Any, ...], dict[str, Any]] = {}
+        for row in self.children[0]:
+            key = tuple(row[g] for g in resolved_group)
+            if key not in accumulators:
+                accumulators[key] = [make_accumulator(spec.func) for spec in self.aggregates]
+                group_rows[key] = {out: row[g] for out, g in zip(self.group_by, resolved_group)}
+            accs = accumulators[key]
+            for spec, acc in zip(self.aggregates, accs):
+                if spec.argument is None:
+                    acc.add(1)
+                else:
+                    acc.add(spec.argument.evaluate(row))
+        if not accumulators and not self.group_by:
+            # Global aggregate over empty input: emit identities.
+            accumulators[()] = [make_accumulator(spec.func) for spec in self.aggregates]
+            group_rows[()] = {}
+        for key, accs in accumulators.items():
+            out = dict(group_rows[key])
+            for spec, acc in zip(self.aggregates, accs):
+                out[spec.name] = acc.result()
+            yield out
+
+    def label(self) -> str:
+        aggs = ", ".join(spec.label() for spec in self.aggregates)
+        return f"HashAggregate(by=[{', '.join(self.group_by)}], {aggs})"

@@ -1,0 +1,54 @@
+"""Selection and projection operators."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.expressions import Expression
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.schema import Schema
+
+__all__ = ["FilterOp", "ProjectOp"]
+
+
+class FilterOp(PhysicalOperator):
+    """Pass through rows for which the predicate evaluates to true."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Expression, context: Mapping[str, Any] | None = None):
+        super().__init__(child.schema, (child,))
+        self.predicate = predicate
+        self.context = context
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        predicate = self.predicate
+        context = self.context
+        for row in self.children[0]:
+            if predicate.evaluate(row, context):
+                yield row
+
+    def label(self) -> str:
+        return f"Filter({self.predicate!r})"
+
+
+class ProjectOp(PhysicalOperator):
+    """Compute output columns from expressions over each input row."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        projections: Sequence[tuple[str, Expression]],
+        schema: Schema,
+        context: Mapping[str, Any] | None = None,
+    ):
+        super().__init__(schema, (child,))
+        self.projections = list(projections)
+        self.context = context
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        projections = self.projections
+        context = self.context
+        for row in self.children[0]:
+            yield {name: expr.evaluate(row, context) for name, expr in projections}
+
+    def label(self) -> str:
+        return f"Project({', '.join(name for name, _ in self.projections)})"

@@ -1,0 +1,100 @@
+"""Scan operators: full table scans, inline values and index scans."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping, Sequence
+
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.schema import Schema
+from repro.engine.table import Table
+
+__all__ = ["TableScanOp", "ValuesOp", "IndexEqualityScanOp", "IndexRangeScanOp"]
+
+
+def _qualify_row(row: Mapping[str, Any], alias: str | None) -> dict[str, Any]:
+    """Return a copy of *row* with keys prefixed by ``alias.`` if requested."""
+    if not alias:
+        return dict(row)
+    return {f"{alias}.{k.split('.')[-1]}": v for k, v in row.items()}
+
+
+class TableScanOp(PhysicalOperator):
+    """Sequentially scan all rows of a base table."""
+
+    def __init__(self, table: Table, schema: Schema, alias: str | None = None):
+        super().__init__(schema)
+        self.table = table
+        self.alias = alias
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        for row in self.table.rows():
+            yield _qualify_row(row, self.alias)
+
+    def label(self) -> str:
+        if self.alias and self.alias != self.table.name:
+            return f"TableScan({self.table.name} AS {self.alias})"
+        return f"TableScan({self.table.name})"
+
+
+class ValuesOp(PhysicalOperator):
+    """Produce a fixed, in-plan list of rows."""
+
+    def __init__(self, schema: Schema, rows: Sequence[Mapping[str, Any]]):
+        super().__init__(schema)
+        self._rows = [dict(r) for r in rows]
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        for row in self._rows:
+            yield dict(row)
+
+    def label(self) -> str:
+        return f"Values({len(self._rows)} rows)"
+
+
+class IndexEqualityScanOp(PhysicalOperator):
+    """Fetch rows whose indexed column(s) equal a constant key."""
+
+    def __init__(self, table: Table, schema: Schema, index_name: str, key: Any, alias: str | None = None):
+        super().__init__(schema)
+        self.table = table
+        self.index_name = index_name
+        self.key = key
+        self.alias = alias
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        index = self.table.index(self.index_name)
+        for rowid in index.lookup(self.key):
+            yield _qualify_row(self.table.get(rowid), self.alias)
+
+    def label(self) -> str:
+        return f"IndexEqualityScan({self.table.name}.{self.index_name} = {self.key!r})"
+
+
+class IndexRangeScanOp(PhysicalOperator):
+    """Fetch rows whose indexed column(s) fall inside per-dimension bounds.
+
+    ``bounds`` is a sequence of ``(low, high)`` pairs, one per index column;
+    ``None`` means unbounded on that side.
+    """
+
+    def __init__(
+        self,
+        table: Table,
+        schema: Schema,
+        index_name: str,
+        bounds: Sequence[tuple[Any, Any]],
+        alias: str | None = None,
+    ):
+        super().__init__(schema)
+        self.table = table
+        self.index_name = index_name
+        self.bounds = list(bounds)
+        self.alias = alias
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        index = self.table.index(self.index_name)
+        for rowid in index.range_search(self.bounds):
+            yield _qualify_row(self.table.get(rowid), self.alias)
+
+    def label(self) -> str:
+        return f"IndexRangeScan({self.table.name}.{self.index_name} {self.bounds})"

@@ -1,0 +1,36 @@
+"""Query optimization: rewrites, join ordering, costing, physical planning
+and adaptive multi-plan selection."""
+
+from repro.engine.optimizer.adaptive import (
+    AdaptiveQueryManager,
+    ExecutionFeedback,
+    PlanChoice,
+)
+from repro.engine.optimizer.cost import CostModel, PlanCost
+from repro.engine.optimizer.join_order import extract_join_graph, order_joins, reorder_joins
+from repro.engine.optimizer.physical import PhysicalPlanner
+from repro.engine.optimizer.planner import PlannedQuery, Planner
+from repro.engine.optimizer.rules import (
+    apply_standard_rewrites,
+    merge_selections,
+    push_down_selections,
+    split_conjunctions,
+)
+
+__all__ = [
+    "AdaptiveQueryManager",
+    "ExecutionFeedback",
+    "PlanChoice",
+    "CostModel",
+    "PlanCost",
+    "extract_join_graph",
+    "order_joins",
+    "reorder_joins",
+    "PhysicalPlanner",
+    "PlannedQuery",
+    "Planner",
+    "apply_standard_rewrites",
+    "merge_selections",
+    "push_down_selections",
+    "split_conjunctions",
+]

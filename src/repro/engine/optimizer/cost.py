@@ -1,0 +1,243 @@
+"""Cardinality and cost estimation for logical plans.
+
+The cost model is deliberately simple — the classic ``C_out`` metric (sum of
+estimated intermediate result sizes) plus per-operator constants — because
+what the adaptive optimizer of Section 4.1 needs is *relative* ordering of
+candidate plans under different workload states, not absolute timings.
+Cardinalities come from :mod:`repro.engine.statistics`: per-column
+histograms for single-table predicates and row samples for correlated
+multi-dimensional range predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.algebra import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Select,
+    Sort,
+    TableScan,
+    Union,
+    Values,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import BinaryOp, ColumnRef, Expression
+from repro.engine.statistics import (
+    DEFAULT_EQUALITY_SELECTIVITY,
+    DEFAULT_SELECTIVITY,
+    TableStatistics,
+    estimate_selectivity,
+    join_selectivity,
+)
+
+__all__ = ["CostModel", "PlanCost"]
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Estimated output cardinality and cumulative cost of a plan."""
+
+    cardinality: float
+    cost: float
+
+    def __lt__(self, other: "PlanCost") -> bool:
+        return self.cost < other.cost
+
+
+class CostModel:
+    """Estimates cardinalities and C_out-style costs against a catalog."""
+
+    #: Per-row cost charged for producing one output row of any operator.
+    ROW_COST = 1.0
+    #: Extra per-row cost of evaluating a predicate or projection expression.
+    EXPR_COST = 0.2
+    #: Build-side cost factor for hash joins / aggregation.
+    HASH_COST = 1.2
+    #: Per probed cell / log-factor cost for index and band joins.
+    INDEX_PROBE_COST = 4.0
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+
+    # -- cardinality ------------------------------------------------------------------
+
+    def table_statistics(self, plan: LogicalPlan) -> TableStatistics | None:
+        """Statistics of the single base table below *plan*, if unique."""
+        tables = plan.referenced_tables()
+        if len(tables) != 1:
+            return None
+        (name,) = tables
+        if not self.catalog.has_table(name):
+            return None
+        return self.catalog.statistics(name)
+
+    def cardinality(self, plan: LogicalPlan) -> float:
+        if isinstance(plan, TableScan):
+            if self.catalog.has_table(plan.table_name):
+                return float(len(self.catalog.table(plan.table_name)))
+            return 1000.0
+        if isinstance(plan, Values):
+            return float(len(plan.rows))
+        if isinstance(plan, Select):
+            child = self.cardinality(plan.child)
+            stats = self.table_statistics(plan.child)
+            return child * estimate_selectivity(plan.predicate, stats)
+        if isinstance(plan, Project):
+            return self.cardinality(plan.child)
+        if isinstance(plan, Join):
+            return self._join_cardinality(plan)
+        if isinstance(plan, Aggregate):
+            return self._aggregate_cardinality(plan)
+        if isinstance(plan, Distinct):
+            return max(1.0, 0.9 * self.cardinality(plan.child))
+        if isinstance(plan, Sort):
+            return self.cardinality(plan.child)
+        if isinstance(plan, Limit):
+            return min(float(plan.count), self.cardinality(plan.child))
+        if isinstance(plan, Union):
+            return self.cardinality(plan.left) + self.cardinality(plan.right)
+        children = plan.children()
+        if children:
+            return self.cardinality(children[0])
+        return 1.0
+
+    def _join_cardinality(self, plan: Join) -> float:
+        left = self.cardinality(plan.left)
+        right = self.cardinality(plan.right)
+        if plan.how == "cross" or plan.condition is None:
+            return left * right
+        selectivity = self.join_condition_selectivity(plan.condition, plan.left, plan.right)
+        cardinality = left * right * selectivity
+        if plan.how == "left":
+            cardinality = max(cardinality, left)
+        return max(1.0, cardinality)
+
+    def join_condition_selectivity(
+        self, condition: Expression, left: LogicalPlan, right: LogicalPlan
+    ) -> float:
+        """Selectivity of a join condition, conjunct by conjunct."""
+        left_stats = self.table_statistics(left)
+        right_stats = self.table_statistics(right)
+        conjuncts = condition.conjuncts() if isinstance(condition, BinaryOp) else [condition]
+        selectivity = 1.0
+        for conjunct in conjuncts:
+            selectivity *= self._conjunct_selectivity(conjunct, left_stats, right_stats)
+        return selectivity
+
+    def _conjunct_selectivity(
+        self,
+        conjunct: Expression,
+        left_stats: TableStatistics | None,
+        right_stats: TableStatistics | None,
+    ) -> float:
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "==":
+            lcol = conjunct.left.name if isinstance(conjunct.left, ColumnRef) else None
+            rcol = conjunct.right.name if isinstance(conjunct.right, ColumnRef) else None
+            if lcol and rcol:
+                return join_selectivity(left_stats, right_stats, lcol, rcol)
+            return DEFAULT_EQUALITY_SELECTIVITY
+        if isinstance(conjunct, BinaryOp) and conjunct.op in ("<", "<=", ">", ">="):
+            # Range conjuncts (one side of a band predicate): assume a
+            # moderately selective band; two of them give ~0.09.
+            return 0.3
+        return DEFAULT_SELECTIVITY
+
+    def _aggregate_cardinality(self, plan: Aggregate) -> float:
+        child = self.cardinality(plan.child)
+        if not plan.group_by:
+            return 1.0
+        stats = self.table_statistics(plan.child)
+        groups = 1.0
+        if stats is not None:
+            for column in plan.group_by:
+                cs = stats.column(column)
+                if cs is not None and cs.distinct_count:
+                    groups *= cs.distinct_count
+                else:
+                    groups *= max(1.0, child ** 0.5)
+        else:
+            groups = max(1.0, child ** 0.8)
+        return max(1.0, min(child, groups))
+
+    # -- cost --------------------------------------------------------------------------
+
+    def cost(self, plan: LogicalPlan) -> PlanCost:
+        """Estimate the cumulative cost (C_out + operator constants)."""
+        if isinstance(plan, (TableScan, Values)):
+            card = self.cardinality(plan)
+            return PlanCost(card, card * self.ROW_COST)
+        if isinstance(plan, Select):
+            child = self.cost(plan.child)
+            card = self.cardinality(plan)
+            return PlanCost(card, child.cost + child.cardinality * self.EXPR_COST + card)
+        if isinstance(plan, Project):
+            child = self.cost(plan.child)
+            n_exprs = max(1, len(plan.projections))
+            return PlanCost(
+                child.cardinality,
+                child.cost + child.cardinality * self.EXPR_COST * n_exprs,
+            )
+        if isinstance(plan, Join):
+            return self._join_cost(plan)
+        if isinstance(plan, Aggregate):
+            child = self.cost(plan.child)
+            card = self.cardinality(plan)
+            return PlanCost(card, child.cost + child.cardinality * self.HASH_COST + card)
+        if isinstance(plan, (Sort, Distinct)):
+            child = self.cost(plan.child)
+            import math
+
+            sort_cost = child.cardinality * max(1.0, math.log2(child.cardinality + 2))
+            return PlanCost(child.cardinality, child.cost + sort_cost)
+        if isinstance(plan, Limit):
+            child = self.cost(plan.child)
+            card = self.cardinality(plan)
+            return PlanCost(card, child.cost + card)
+        if isinstance(plan, Union):
+            left = self.cost(plan.left)
+            right = self.cost(plan.right)
+            return PlanCost(left.cardinality + right.cardinality, left.cost + right.cost)
+        children = [self.cost(c) for c in plan.children()]
+        total = sum(c.cost for c in children)
+        card = self.cardinality(plan)
+        return PlanCost(card, total + card)
+
+    def _join_cost(self, plan: Join) -> PlanCost:
+        left = self.cost(plan.left)
+        right = self.cost(plan.right)
+        card = self.cardinality(plan)
+        if plan.how == "cross" or plan.condition is None:
+            work = left.cardinality * right.cardinality
+        else:
+            conjuncts = (
+                plan.condition.conjuncts()
+                if isinstance(plan.condition, BinaryOp)
+                else [plan.condition]
+            )
+            has_equi = any(
+                isinstance(c, BinaryOp)
+                and c.op == "=="
+                and isinstance(c.left, ColumnRef)
+                and isinstance(c.right, ColumnRef)
+                for c in conjuncts
+            )
+            has_band = any(
+                isinstance(c, BinaryOp) and c.op in ("<", "<=", ">", ">=") for c in conjuncts
+            )
+            if has_equi:
+                work = left.cardinality + right.cardinality * self.HASH_COST + card
+            elif has_band:
+                work = (
+                    right.cardinality * self.HASH_COST
+                    + left.cardinality * self.INDEX_PROBE_COST
+                    + card
+                )
+            else:
+                work = left.cardinality * right.cardinality
+        return PlanCost(card, left.cost + right.cost + work + card)

@@ -1,0 +1,227 @@
+"""Join order enumeration.
+
+Section 4.1: "The size of intermediate tables can vary dramatically between
+states … and this may significantly change the best join ordering."  The
+enumerator extracts the *join graph* from a tree of inner joins (relations
+plus conjunctive predicates), then searches orders:
+
+* exhaustive dynamic programming over connected subsets for up to
+  ``DP_RELATION_LIMIT`` relations (SGL queries join a handful of tables),
+* a greedy smallest-intermediate-first heuristic beyond that.
+
+The output is a new join tree whose cost is evaluated with the supplied
+:class:`~repro.engine.optimizer.cost.CostModel`; because the cost model
+reads *current* statistics, re-running the enumerator under a different
+workload state can produce a different order — which is what the adaptive
+optimizer (experiment E4) exploits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Sequence
+
+from repro.engine.algebra import Join, LogicalPlan, Select
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import BinaryOp, Expression, and_all
+from repro.engine.optimizer.cost import CostModel
+
+__all__ = ["JoinGraph", "extract_join_graph", "order_joins", "reorder_joins"]
+
+#: Maximum number of relations for exhaustive DP enumeration.
+DP_RELATION_LIMIT = 8
+
+
+@dataclass
+class JoinGraph:
+    """A set of relations (plan subtrees) and predicates connecting them."""
+
+    relations: list[LogicalPlan] = field(default_factory=list)
+    predicates: list[Expression] = field(default_factory=list)
+
+    def predicate_relations(self, predicate: Expression, catalog: Catalog) -> set[int]:
+        """Indexes of the relations whose columns the predicate references."""
+        referenced = predicate.columns()
+        out: set[int] = set()
+        for i, relation in enumerate(self.relations):
+            try:
+                schema = relation.output_schema(catalog)
+            except Exception:
+                continue
+            names = set(schema.names)
+            unqualified = {c.unqualified_name for c in schema}
+            for column in referenced:
+                if column in names or ("." not in column and column in unqualified):
+                    out.add(i)
+                    break
+        return out
+
+
+def extract_join_graph(plan: LogicalPlan) -> JoinGraph | None:
+    """Flatten a tree of inner/cross joins (with interleaved selections).
+
+    Returns ``None`` when the plan is not a pure inner-join tree (outer
+    joins, aggregates below joins, etc.), in which case the original order
+    is kept.
+    """
+    graph = JoinGraph()
+
+    def visit(node: LogicalPlan) -> bool:
+        if isinstance(node, Join) and node.how in ("inner", "cross"):
+            if not visit(node.left):
+                return False
+            if not visit(node.right):
+                return False
+            if node.condition is not None:
+                if isinstance(node.condition, BinaryOp):
+                    graph.predicates.extend(node.condition.conjuncts())
+                else:
+                    graph.predicates.append(node.condition)
+            return True
+        if isinstance(node, Select):
+            # Keep per-relation selections attached to their relation.
+            graph.relations.append(node)
+            return True
+        graph.relations.append(node)
+        return True
+
+    if not isinstance(plan, Join) or plan.how not in ("inner", "cross"):
+        return None
+    if not visit(plan):
+        return None
+    if len(graph.relations) < 2:
+        return None
+    return graph
+
+
+def _build_join(
+    left: LogicalPlan,
+    right: LogicalPlan,
+    left_set: frozenset[int],
+    right_set: frozenset[int],
+    graph: JoinGraph,
+    catalog: Catalog,
+    used: set[int],
+) -> LogicalPlan:
+    """Join two subplans, attaching every not-yet-used predicate that is
+    fully covered by the combined relation set."""
+    combined = left_set | right_set
+    applicable: list[Expression] = []
+    for i, predicate in enumerate(graph.predicates):
+        if i in used:
+            continue
+        relations = graph.predicate_relations(predicate, catalog)
+        if relations and relations <= combined:
+            applicable.append(predicate)
+            used.add(i)
+    condition = and_all(applicable) if applicable else None
+    how = "inner" if applicable else "cross"
+    return Join(left, right, condition, how)
+
+
+def order_joins(graph: JoinGraph, catalog: Catalog, cost_model: CostModel) -> LogicalPlan:
+    """Pick a join order for *graph* and return the resulting join tree."""
+    n = len(graph.relations)
+    if n <= DP_RELATION_LIMIT:
+        return _dp_order(graph, catalog, cost_model)
+    return _greedy_order(graph, catalog, cost_model)
+
+
+def _dp_order(graph: JoinGraph, catalog: Catalog, cost_model: CostModel) -> LogicalPlan:
+    """Exhaustive DP over subsets (left-deep and bushy) minimizing cost."""
+    n = len(graph.relations)
+    best: dict[frozenset[int], tuple[float, LogicalPlan, set[int]]] = {}
+    for i, relation in enumerate(graph.relations):
+        key = frozenset([i])
+        best[key] = (cost_model.cost(relation).cost, relation, set())
+    for size in range(2, n + 1):
+        for subset in map(frozenset, combinations(range(n), size)):
+            candidates: list[tuple[float, LogicalPlan, set[int]]] = []
+            seen_splits: set[frozenset[int]] = set()
+            for left_size in range(1, size):
+                for left_tuple in combinations(sorted(subset), left_size):
+                    left_set = frozenset(left_tuple)
+                    if left_set in seen_splits:
+                        continue
+                    right_set = subset - left_set
+                    seen_splits.add(left_set)
+                    seen_splits.add(right_set)
+                    if left_set not in best or right_set not in best:
+                        continue
+                    left_cost, left_plan, left_used = best[left_set]
+                    right_cost, right_plan, right_used = best[right_set]
+                    used = set(left_used) | set(right_used)
+                    joined = _build_join(
+                        left_plan, right_plan, left_set, right_set, graph, catalog, used
+                    )
+                    total = cost_model.cost(joined).cost
+                    candidates.append((total, joined, used))
+            if candidates:
+                best[subset] = min(candidates, key=lambda c: c[0])
+    full = frozenset(range(n))
+    _, plan, used = best[full]
+    return _attach_leftover_predicates(plan, graph, used)
+
+
+def _greedy_order(graph: JoinGraph, catalog: Catalog, cost_model: CostModel) -> LogicalPlan:
+    """Greedy: repeatedly join the pair with the cheapest estimated result."""
+    n = len(graph.relations)
+    parts: dict[frozenset[int], LogicalPlan] = {
+        frozenset([i]): rel for i, rel in enumerate(graph.relations)
+    }
+    used: set[int] = set()
+    while len(parts) > 1:
+        best_key: tuple[frozenset[int], frozenset[int]] | None = None
+        best_plan: LogicalPlan | None = None
+        best_cost = float("inf")
+        best_used: set[int] = set()
+        keys = list(parts)
+        for a, b in combinations(keys, 2):
+            trial_used = set(used)
+            joined = _build_join(parts[a], parts[b], a, b, graph, catalog, trial_used)
+            cost = cost_model.cost(joined).cost
+            if cost < best_cost:
+                best_cost = cost
+                best_key = (a, b)
+                best_plan = joined
+                best_used = trial_used
+        assert best_key is not None and best_plan is not None
+        a, b = best_key
+        del parts[a]
+        del parts[b]
+        parts[a | b] = best_plan
+        used = best_used
+    (plan,) = parts.values()
+    return _attach_leftover_predicates(plan, graph, used)
+
+
+def _attach_leftover_predicates(plan: LogicalPlan, graph: JoinGraph, used: set[int]) -> LogicalPlan:
+    leftovers = [p for i, p in enumerate(graph.predicates) if i not in used]
+    if leftovers:
+        return Select(plan, and_all(leftovers))
+    return plan
+
+
+def reorder_joins(plan: LogicalPlan, catalog: Catalog, cost_model: CostModel) -> LogicalPlan:
+    """Recursively reorder every maximal inner-join subtree of *plan*."""
+
+    def rewrite(node: LogicalPlan) -> LogicalPlan:
+        if isinstance(node, Join) and node.how in ("inner", "cross"):
+            graph = extract_join_graph(node)
+            if graph is not None:
+                relations = [rewrite_children_only(r) for r in graph.relations]
+                graph = JoinGraph(relations, graph.predicates)
+                return order_joins(graph, catalog, cost_model)
+        return rewrite_children_only(node)
+
+    def rewrite_children_only(node: LogicalPlan) -> LogicalPlan:
+        children = node.children()
+        if not children:
+            return node
+        new_children = [rewrite(c) for c in children]
+        if all(a is b for a, b in zip(new_children, children)):
+            return node
+        return node.with_children(new_children)
+
+    return rewrite(plan)

@@ -1,0 +1,298 @@
+"""Lowering logical plans to physical operator trees.
+
+The physical planner chooses operator implementations:
+
+* selections directly above a base-table scan use an index
+  (:class:`IndexRangeScanOp` / :class:`IndexEqualityScanOp`) when one covers
+  the predicate columns, keeping the rest as a residual filter,
+* joins become hash joins (equi conjuncts), range-probe joins (the
+  Figure 2 "units within range" shape), or nested-loop joins,
+* everything else lowers one-to-one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.engine.algebra import (
+    Aggregate,
+    Distinct,
+    Join,
+    Limit,
+    LogicalPlan,
+    Project,
+    Select,
+    Sort,
+    TableScan,
+    Union,
+    Values,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.errors import PlanError
+from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, and_all
+from repro.engine.operators import (
+    CrossJoinOp,
+    DistinctOp,
+    FilterOp,
+    HashAggregateOp,
+    HashJoinOp,
+    IndexEqualityScanOp,
+    IndexRangeScanOp,
+    LimitOp,
+    NestedLoopJoinOp,
+    PhysicalOperator,
+    ProjectOp,
+    RangeProbeJoinOp,
+    SortOp,
+    TableScanOp,
+    UnionOp,
+    ValuesOp,
+)
+from repro.engine.schema import Schema
+
+__all__ = ["PhysicalPlanner"]
+
+
+class PhysicalPlanner:
+    """Translates optimized logical plans into executable operator trees."""
+
+    def __init__(self, catalog: Catalog, use_indexes: bool = True):
+        self.catalog = catalog
+        self.use_indexes = use_indexes
+
+    # -- entry point ------------------------------------------------------------------
+
+    def lower(self, plan: LogicalPlan) -> PhysicalOperator:
+        if isinstance(plan, TableScan):
+            return self._lower_scan(plan)
+        if isinstance(plan, Values):
+            return ValuesOp(plan.schema, plan.rows)
+        if isinstance(plan, Select):
+            return self._lower_select(plan)
+        if isinstance(plan, Project):
+            child = self.lower(plan.child)
+            return ProjectOp(child, plan.projections, plan.output_schema(self.catalog))
+        if isinstance(plan, Join):
+            return self._lower_join(plan)
+        if isinstance(plan, Aggregate):
+            child = self.lower(plan.child)
+            return HashAggregateOp(
+                child, plan.group_by, plan.aggregates, plan.output_schema(self.catalog)
+            )
+        if isinstance(plan, Sort):
+            return SortOp(self.lower(plan.child), plan.keys)
+        if isinstance(plan, Limit):
+            return LimitOp(self.lower(plan.child), plan.count)
+        if isinstance(plan, Distinct):
+            return DistinctOp(self.lower(plan.child))
+        if isinstance(plan, Union):
+            left = self.lower(plan.left)
+            right = self.lower(plan.right)
+            return UnionOp(left, right, plan.output_schema(self.catalog))
+        raise PlanError(f"cannot lower logical node {type(plan).__name__}")
+
+    # -- scans and selections ------------------------------------------------------------
+
+    def _lower_scan(self, plan: TableScan) -> PhysicalOperator:
+        table = self.catalog.table(plan.table_name)
+        return TableScanOp(table, plan.output_schema(self.catalog), plan.alias)
+
+    def _lower_select(self, plan: Select) -> PhysicalOperator:
+        child = plan.child
+        if self.use_indexes and isinstance(child, TableScan):
+            indexed = self._try_index_scan(child, plan.predicate)
+            if indexed is not None:
+                return indexed
+        lowered = self.lower(child)
+        return FilterOp(lowered, plan.predicate)
+
+    def _try_index_scan(self, scan: TableScan, predicate: Expression) -> PhysicalOperator | None:
+        """Use a table index for constant equality / range conjuncts."""
+        table = self.catalog.table(scan.table_name)
+        if not table.indexes:
+            return None
+        conjuncts = (
+            predicate.conjuncts() if isinstance(predicate, BinaryOp) else [predicate]
+        )
+        # Collect per-column constant bounds: column -> [low, high].
+        bounds: dict[str, list[Any]] = {}
+        for conjunct in conjuncts:
+            parsed = _constant_comparison(conjunct)
+            if parsed is None:
+                continue
+            column, op, value = parsed
+            column = column.split(".")[-1]
+            entry = bounds.setdefault(column, [None, None])
+            if op == "==":
+                entry[0] = value if entry[0] is None else max(entry[0], value)
+                entry[1] = value if entry[1] is None else min(entry[1], value)
+            elif op in (">", ">="):
+                entry[0] = value if entry[0] is None else max(entry[0], value)
+            elif op in ("<", "<="):
+                entry[1] = value if entry[1] is None else min(entry[1], value)
+        if not bounds:
+            return None
+        schema = scan.output_schema(self.catalog)
+        for index_name, index in table.indexes.items():
+            index_cols = [c.split(".")[-1] for c in index.columns]
+            if not index_cols or not all(c in bounds for c in index_cols):
+                continue
+            index_bounds = [tuple(bounds[c]) for c in index_cols]
+            scan_op = IndexRangeScanOp(table, schema, index_name, index_bounds, scan.alias)
+            # The index may be approximate on ties/borders; always re-check.
+            return FilterOp(scan_op, predicate)
+        return None
+
+    # -- joins ------------------------------------------------------------------------------
+
+    def _lower_join(self, plan: Join) -> PhysicalOperator:
+        left = self.lower(plan.left)
+        right = self.lower(plan.right)
+        schema = plan.output_schema(self.catalog)
+        if plan.how == "cross" or plan.condition is None:
+            if plan.how == "left":
+                return NestedLoopJoinOp(left, right, None, schema, how="left")
+            return CrossJoinOp(left, right, schema)
+        left_schema = plan.left.output_schema(self.catalog)
+        right_schema = plan.right.output_schema(self.catalog)
+        conjuncts = (
+            plan.condition.conjuncts()
+            if isinstance(plan.condition, BinaryOp)
+            else [plan.condition]
+        )
+        equi = _extract_equi_keys(conjuncts, left_schema, right_schema)
+        if equi:
+            left_keys, right_keys, residual_conjuncts = equi
+            residual = and_all(residual_conjuncts) if residual_conjuncts else None
+            return HashJoinOp(
+                left, right, left_keys, right_keys, schema, residual=residual, how=plan.how
+            )
+        if plan.how == "inner":
+            probe = _extract_range_probe(conjuncts, left_schema, right_schema)
+            if probe:
+                dimensions, residual_conjuncts = probe
+                residual = and_all(residual_conjuncts) if residual_conjuncts else None
+                return RangeProbeJoinOp(left, right, dimensions, schema, residual=residual)
+        return NestedLoopJoinOp(left, right, plan.condition, schema, how=plan.how)
+
+
+# -- condition analysis helpers ------------------------------------------------------------
+
+
+def _constant_comparison(expr: Expression) -> tuple[str, str, Any] | None:
+    """Match ``col <op> literal`` / ``literal <op> col``; return (col, op, value)."""
+    if not isinstance(expr, BinaryOp) or expr.op not in ("==", "<", "<=", ">", ">="):
+        return None
+    flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+    if isinstance(expr.left, ColumnRef) and isinstance(expr.right, Literal):
+        return expr.left.name, expr.op, expr.right.value
+    if isinstance(expr.right, ColumnRef) and isinstance(expr.left, Literal):
+        return expr.right.name, flipped[expr.op], expr.left.value
+    return None
+
+
+def _side_of(column: str, left_schema: Schema, right_schema: Schema) -> str | None:
+    """Which join side produces *column*: 'left', 'right', or None/ambiguous."""
+    in_left = column in left_schema
+    in_right = column in right_schema
+    if in_left and not in_right:
+        return "left"
+    if in_right and not in_left:
+        return "right"
+    return None
+
+
+def _expression_side(expr: Expression, left_schema: Schema, right_schema: Schema) -> str | None:
+    """Which side all columns of *expr* come from ('left'/'right'), or None."""
+    sides = set()
+    for column in expr.columns():
+        side = _side_of(column, left_schema, right_schema)
+        if side is None:
+            return None
+        sides.add(side)
+    if len(sides) == 1:
+        return sides.pop()
+    if not sides:
+        return "const"
+    return None
+
+
+def _extract_equi_keys(
+    conjuncts: Sequence[Expression], left_schema: Schema, right_schema: Schema
+) -> tuple[list[Expression], list[Expression], list[Expression]] | None:
+    """Split conjuncts into equi-join keys and residual predicates."""
+    left_keys: list[Expression] = []
+    right_keys: list[Expression] = []
+    residual: list[Expression] = []
+    for conjunct in conjuncts:
+        if isinstance(conjunct, BinaryOp) and conjunct.op == "==":
+            lhs_side = _expression_side(conjunct.left, left_schema, right_schema)
+            rhs_side = _expression_side(conjunct.right, left_schema, right_schema)
+            if lhs_side == "left" and rhs_side == "right":
+                left_keys.append(conjunct.left)
+                right_keys.append(conjunct.right)
+                continue
+            if lhs_side == "right" and rhs_side == "left":
+                left_keys.append(conjunct.right)
+                right_keys.append(conjunct.left)
+                continue
+        residual.append(conjunct)
+    if not left_keys:
+        return None
+    return left_keys, right_keys, residual
+
+
+def _extract_range_probe(
+    conjuncts: Sequence[Expression], left_schema: Schema, right_schema: Schema
+) -> tuple[list[tuple[str, Expression, Expression]], list[Expression]] | None:
+    """Match the band-join shape: per right column, a lower and upper bound
+    expression computed from the left row."""
+    lows: dict[str, Expression] = {}
+    highs: dict[str, Expression] = {}
+    residual: list[Expression] = []
+    consumed: list[Expression] = []
+    for conjunct in conjuncts:
+        matched = False
+        if isinstance(conjunct, BinaryOp) and conjunct.op in ("<", "<=", ">", ">="):
+            for col_expr, other, op in (
+                (conjunct.left, conjunct.right, conjunct.op),
+                (conjunct.right, conjunct.left, {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[conjunct.op]),
+            ):
+                if not isinstance(col_expr, ColumnRef):
+                    continue
+                if _side_of(col_expr.name, left_schema, right_schema) != "right":
+                    continue
+                other_side = _expression_side(other, left_schema, right_schema)
+                if other_side not in ("left", "const"):
+                    continue
+                column = col_expr.name
+                if op in (">", ">="):
+                    if column not in lows:
+                        lows[column] = other
+                        consumed.append(conjunct)
+                        matched = True
+                else:
+                    if column not in highs:
+                        highs[column] = other
+                        consumed.append(conjunct)
+                        matched = True
+                break
+        if not matched:
+            residual.append(conjunct)
+    dimensions = []
+    for column in lows:
+        if column in highs:
+            dimensions.append((column, lows[column], highs[column]))
+    if not dimensions:
+        return None
+    # Bounds that did not pair up stay as residual predicates.
+    paired_columns = {c for c, _, _ in dimensions}
+    for conjunct in consumed:
+        parsed_cols = [
+            c
+            for c in conjunct.columns()
+            if _side_of(c, left_schema, right_schema) == "right"
+        ]
+        if not any(c in paired_columns for c in parsed_cols):
+            residual.append(conjunct)
+    return dimensions, residual

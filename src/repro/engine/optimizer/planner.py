@@ -1,0 +1,66 @@
+"""The planner facade: rewrite, reorder, cost and lower a logical plan."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.engine.algebra import LogicalPlan, explain as explain_logical
+from repro.engine.catalog import Catalog
+from repro.engine.operators import PhysicalOperator
+from repro.engine.optimizer.cost import CostModel, PlanCost
+from repro.engine.optimizer.join_order import reorder_joins
+from repro.engine.optimizer.physical import PhysicalPlanner
+from repro.engine.optimizer.rules import apply_standard_rewrites
+
+__all__ = ["Planner", "PlannedQuery"]
+
+
+@dataclass
+class PlannedQuery:
+    """The result of planning one query: plans, cost estimate, explain text."""
+
+    logical: LogicalPlan
+    optimized: LogicalPlan
+    physical: PhysicalOperator
+    estimated: PlanCost
+
+    def explain(self, analyze: bool = False) -> str:
+        lines = [
+            "== logical ==",
+            explain_logical(self.logical),
+            "== optimized ==",
+            explain_logical(self.optimized),
+            "== physical ==",
+            self.physical.explain(analyze=analyze),
+            f"== estimated cost: {self.estimated.cost:.1f} rows: {self.estimated.cardinality:.1f} ==",
+        ]
+        return "\n".join(lines)
+
+
+class Planner:
+    """Cost-based planner over a catalog.
+
+    ``optimize=False`` skips rewrites and join reordering (used by the
+    benchmarks to quantify what the optimizer buys); ``use_indexes=False``
+    forces pure scan plans.
+    """
+
+    def __init__(self, catalog: Catalog, optimize: bool = True, use_indexes: bool = True):
+        self.catalog = catalog
+        self.optimize = optimize
+        self.cost_model = CostModel(catalog)
+        self.physical_planner = PhysicalPlanner(catalog, use_indexes=use_indexes)
+
+    def plan(self, logical: LogicalPlan) -> PlannedQuery:
+        """Produce a physical plan for *logical*."""
+        optimized = logical
+        if self.optimize:
+            optimized = apply_standard_rewrites(logical, self.catalog)
+            optimized = reorder_joins(optimized, self.catalog, self.cost_model)
+        physical = self.physical_planner.lower(optimized)
+        estimated = self.cost_model.cost(optimized)
+        return PlannedQuery(logical, optimized, physical, estimated)
+
+    def estimate(self, logical: LogicalPlan) -> PlanCost:
+        """Cost a logical plan without lowering it (used by adaptive search)."""
+        return self.cost_model.cost(logical)

@@ -1,0 +1,166 @@
+"""Parallel execution of effect-computation queries (Section 4.2).
+
+The paper's argument is architectural: *"Since all tables are read-only
+until the update phase, effect computation can occur without
+synchronization."*  This module provides:
+
+* :class:`PartitionedExecutor` — data-parallel execution: the outer table of
+  a query is split into ``n_workers`` partitions, each worker evaluates the
+  same plan restricted to its partition, and partial results are
+  concatenated (no synchronization is needed precisely because the query
+  and effect steps never write state tables).
+* a *simulated-core* mode that measures per-partition work and reports the
+  speedup an ideal n-core machine would achieve.  Pure-Python operators
+  cannot show real wall-clock speedups under the GIL with threads, so
+  benchmarks report both the measured wall clock (threads) and the
+  simulated speedup; the DESIGN.md substitution table documents this.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.engine.algebra import LogicalPlan, Select, TableScan
+from repro.engine.catalog import Catalog
+from repro.engine.errors import ExecutionError
+from repro.engine.expressions import BinaryOp, ColumnRef, FunctionCall, Literal
+from repro.engine.optimizer.planner import Planner
+
+__all__ = ["PartitionedExecutor", "ParallelResult", "partition_plan"]
+
+
+@dataclass
+class ParallelResult:
+    """Rows plus timing detail for a parallel execution."""
+
+    rows: list[dict[str, Any]]
+    wall_clock: float
+    per_partition_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def simulated_parallel_seconds(self) -> float:
+        """Time an ideal machine would need: the slowest partition."""
+        return max(self.per_partition_seconds) if self.per_partition_seconds else 0.0
+
+    @property
+    def simulated_serial_seconds(self) -> float:
+        """Total work: the sum of partition times."""
+        return sum(self.per_partition_seconds)
+
+    @property
+    def simulated_speedup(self) -> float:
+        parallel = self.simulated_parallel_seconds
+        if parallel <= 0:
+            return 1.0
+        return self.simulated_serial_seconds / parallel
+
+
+def partition_plan(
+    plan: LogicalPlan, outer_table: str, key_column: str, n_partitions: int
+) -> list[LogicalPlan]:
+    """Split *plan* into ``n_partitions`` copies, each restricted to a hash
+    partition of *outer_table* on *key_column*.
+
+    The restriction is expressed as an extra selection ``key % n == i``
+    applied directly above every scan of the outer table, so each copy of
+    the plan is an ordinary logical plan that any executor can run.
+    """
+    if n_partitions <= 0:
+        raise ExecutionError("n_partitions must be positive")
+
+    def restrict(node: LogicalPlan, partition: int) -> LogicalPlan:
+        if isinstance(node, TableScan) and node.table_name == outer_table:
+            qualified = (
+                f"{node.alias}.{key_column}" if node.alias else key_column
+            )
+            predicate = BinaryOp(
+                "==",
+                BinaryOp("%", ColumnRef(qualified), Literal(n_partitions)),
+                Literal(partition),
+            )
+            return Select(node, predicate)
+        children = node.children()
+        if not children:
+            return node
+        return node.with_children([restrict(c, partition) for c in children])
+
+    return [restrict(plan, i) for i in range(n_partitions)]
+
+
+class PartitionedExecutor:
+    """Runs a logical plan data-parallel over partitions of its outer table."""
+
+    def __init__(self, catalog: Catalog, n_workers: int = 4, use_threads: bool = True):
+        if n_workers <= 0:
+            raise ExecutionError("n_workers must be positive")
+        self.catalog = catalog
+        self.n_workers = n_workers
+        self.use_threads = use_threads
+        self.planner = Planner(catalog)
+
+    def execute(
+        self,
+        plan: LogicalPlan,
+        outer_table: str,
+        key_column: str,
+        partition_only_scan_alias: str | None = None,
+    ) -> ParallelResult:
+        """Execute *plan* with its outer table partitioned across workers.
+
+        ``partition_only_scan_alias`` limits the restriction to scans under
+        a particular alias (needed for self-joins, where only the *acting*
+        side must be partitioned — the probed side must stay complete on
+        every worker, mirroring a broadcast join).
+        """
+        partitions = self._partition(plan, outer_table, key_column, partition_only_scan_alias)
+        lowered = [self.planner.plan(p).physical for p in partitions]
+        per_partition: list[float] = [0.0] * len(lowered)
+        results: list[list[dict[str, Any]]] = [[] for _ in lowered]
+
+        def run(i: int) -> None:
+            start = time.perf_counter()
+            results[i] = lowered[i].rows()
+            per_partition[i] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if self.use_threads and len(lowered) > 1:
+            with ThreadPoolExecutor(max_workers=self.n_workers) as pool:
+                list(pool.map(run, range(len(lowered))))
+        else:
+            for i in range(len(lowered)):
+                run(i)
+        wall_clock = time.perf_counter() - start
+        rows: list[dict[str, Any]] = []
+        for partial in results:
+            rows.extend(partial)
+        return ParallelResult(rows=rows, wall_clock=wall_clock, per_partition_seconds=per_partition)
+
+    def _partition(
+        self,
+        plan: LogicalPlan,
+        outer_table: str,
+        key_column: str,
+        alias: str | None,
+    ) -> list[LogicalPlan]:
+        n = self.n_workers
+
+        def restrict(node: LogicalPlan, partition: int) -> LogicalPlan:
+            if isinstance(node, TableScan) and node.table_name == outer_table:
+                if alias is not None and node.alias != alias:
+                    return node
+                qualified = f"{node.alias}.{key_column}" if node.alias else key_column
+                predicate = BinaryOp(
+                    "==",
+                    BinaryOp("%", ColumnRef(qualified), Literal(n)),
+                    Literal(partition),
+                )
+                return Select(node, predicate)
+            children = node.children()
+            if not children:
+                return node
+            return node.with_children([restrict(c, partition) for c in children])
+
+        return [restrict(plan, i) for i in range(n)]

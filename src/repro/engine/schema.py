@@ -1,0 +1,214 @@
+"""Schemas and columns for the main-memory engine.
+
+A :class:`Schema` is an ordered collection of :class:`Column` objects.  The
+SGL compiler generates schemas from class declarations (the programmer never
+writes one by hand — Section 2.1 of the paper), but the engine itself is a
+general relational engine and schemas can also be constructed directly.
+
+Column names may be *qualified* (``"u.x"``) when a relation is the output of
+a join or a renamed scan; :meth:`Schema.resolve` implements the usual
+SQL-style resolution where an unqualified name matches a unique qualified
+column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.engine.errors import SchemaError, TypeMismatchError
+from repro.engine.types import DataType, coerce_value, default_value, is_valid
+
+__all__ = ["Column", "Schema"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single column: name, type, nullability and default value.
+
+    The ``default`` of ``None`` means "use the type default" (see
+    :func:`repro.engine.types.default_value`), not a NULL default —
+    pass ``nullable=True`` and ``default=None`` explicitly for that.
+    """
+
+    name: str
+    dtype: DataType = DataType.ANY
+    nullable: bool = True
+    default: Any = field(default=None)
+
+    def with_name(self, name: str) -> "Column":
+        """Return a copy of this column under a new name."""
+        return Column(name, self.dtype, self.nullable, self.default)
+
+    def qualified(self, qualifier: str) -> "Column":
+        """Return a copy named ``qualifier.name`` (drops any old qualifier)."""
+        base = self.name.split(".")[-1]
+        return self.with_name(f"{qualifier}.{base}")
+
+    @property
+    def unqualified_name(self) -> str:
+        """The column name with any ``alias.`` prefix removed."""
+        return self.name.split(".")[-1]
+
+    def default_or_type_default(self) -> Any:
+        """The value used when a row omits this column."""
+        if self.default is not None:
+            return self.default
+        if self.nullable and self.default is None and self.dtype is DataType.ANY:
+            return None
+        return default_value(self.dtype)
+
+
+class Schema:
+    """An ordered, immutable list of columns with name-based lookup."""
+
+    __slots__ = ("_columns", "_by_name")
+
+    def __init__(self, columns: Iterable[Column]):
+        cols = tuple(columns)
+        by_name: dict[str, int] = {}
+        for i, col in enumerate(cols):
+            if col.name in by_name:
+                raise SchemaError(f"duplicate column name {col.name!r}")
+            by_name[col.name] = i
+        self._columns = cols
+        self._by_name = by_name
+
+    # -- basic container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._columns)
+
+    def __iter__(self) -> Iterator[Column]:
+        return iter(self._columns)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._columns == other._columns
+
+    def __hash__(self) -> int:
+        return hash(self._columns)
+
+    def __repr__(self) -> str:
+        cols = ", ".join(f"{c.name}:{c.dtype}" for c in self._columns)
+        return f"Schema({cols})"
+
+    # -- lookup -------------------------------------------------------------------
+
+    @property
+    def columns(self) -> tuple[Column, ...]:
+        return self._columns
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self._columns)
+
+    def __contains__(self, name: str) -> bool:
+        try:
+            self.resolve(name)
+        except SchemaError:
+            return False
+        return True
+
+    def column(self, name: str) -> Column:
+        """Return the column named *name* (after :meth:`resolve`)."""
+        return self._columns[self.index_of(name)]
+
+    def index_of(self, name: str) -> int:
+        """Return the position of *name*, resolving unqualified names."""
+        resolved = self.resolve(name)
+        return self._by_name[resolved]
+
+    def resolve(self, name: str) -> str:
+        """Resolve *name* to the exact column name stored in this schema.
+
+        An exact match always wins.  Otherwise, an unqualified name matches
+        a single column whose unqualified part equals it; ambiguity or a
+        missing column raises :class:`SchemaError`.
+        """
+        if name in self._by_name:
+            return name
+        matches = [c.name for c in self._columns if c.unqualified_name == name]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise SchemaError(f"unknown column {name!r} (have {list(self.names)})")
+        raise SchemaError(f"ambiguous column {name!r}: matches {matches}")
+
+    # -- derivation ---------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Return a schema containing only *names*, in the given order."""
+        return Schema(self.column(n) for n in names)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Schema":
+        """Return a schema with columns renamed per *mapping* (old → new)."""
+        out = []
+        for col in self._columns:
+            new = mapping.get(col.name, mapping.get(col.unqualified_name))
+            out.append(col.with_name(new) if new else col)
+        return Schema(out)
+
+    def qualify(self, qualifier: str) -> "Schema":
+        """Return a schema where every column is prefixed with *qualifier*."""
+        return Schema(c.qualified(qualifier) for c in self._columns)
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Return the schema of a join output: this schema then *other*.
+
+        Raises :class:`SchemaError` on a name collision; callers are expected
+        to qualify the two sides first.
+        """
+        return Schema(self._columns + other._columns)
+
+    def add(self, column: Column) -> "Schema":
+        """Return a schema with *column* appended."""
+        return Schema(self._columns + (column,))
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Return a schema without the given columns."""
+        resolved = {self.resolve(n) for n in names}
+        return Schema(c for c in self._columns if c.name not in resolved)
+
+    # -- row helpers --------------------------------------------------------------
+
+    def new_row(self, values: Mapping[str, Any] | None = None) -> dict[str, Any]:
+        """Build a full row dict from *values*, filling defaults and validating.
+
+        Unknown keys raise :class:`SchemaError`; type mismatches raise
+        :class:`TypeMismatchError`; a missing non-nullable column with no
+        usable default raises :class:`SchemaError`.
+        """
+        values = dict(values or {})
+        row: dict[str, Any] = {}
+        for col in self._columns:
+            if col.name in values:
+                value = values.pop(col.name)
+            elif col.unqualified_name in values:
+                value = values.pop(col.unqualified_name)
+            else:
+                value = col.default_or_type_default()
+                if value is None and not col.nullable:
+                    raise SchemaError(f"missing value for non-nullable column {col.name!r}")
+            row[col.name] = coerce_value(col.dtype, value)
+            if row[col.name] is None and not col.nullable:
+                raise SchemaError(f"null value for non-nullable column {col.name!r}")
+        if values:
+            raise SchemaError(f"unknown columns in row: {sorted(values)}")
+        return row
+
+    def validate_row(self, row: Mapping[str, Any]) -> None:
+        """Check that *row* has exactly this schema's columns with valid types."""
+        for col in self._columns:
+            if col.name not in row:
+                raise SchemaError(f"row is missing column {col.name!r}")
+            value = row[col.name]
+            if value is None:
+                if not col.nullable:
+                    raise SchemaError(f"null in non-nullable column {col.name!r}")
+                continue
+            if not is_valid(col.dtype, value):
+                raise TypeMismatchError(
+                    f"column {col.name!r} expects {col.dtype}, got {value!r}"
+                )

@@ -1,0 +1,281 @@
+"""Memory-resident tables with index maintenance and tick snapshots.
+
+Tables are the engine's storage layer.  Each table stores rows as plain
+dicts keyed by an engine-assigned *row id*; secondary indexes register with
+the table and are kept consistent on every insert, update and delete.
+
+Two features exist specifically for the state-effect execution model of the
+paper (Section 2):
+
+* :meth:`Table.freeze` / :meth:`Table.thaw` — during the query and effect
+  steps of a tick the state tables are read-only; the tick engine freezes
+  them and any attempted mutation raises :class:`ExecutionError`.
+* :meth:`Table.snapshot` / :meth:`Table.restore` — cheap copy-on-demand
+  snapshots used by the debugger's resumable checkpoints (Section 3.3) and
+  by the transaction engine when it needs to evaluate candidate subsets of
+  atomic actions (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.engine.errors import CatalogError, ExecutionError, SchemaError
+from repro.engine.schema import Column, Schema
+
+__all__ = ["Table", "RowId"]
+
+RowId = int
+
+
+class Table:
+    """A named, schema-validated, memory-resident relation."""
+
+    def __init__(self, name: str, schema: Schema, key: str | None = None):
+        self.name = name
+        self.schema = schema
+        self.key = key
+        if key is not None and key not in schema:
+            raise SchemaError(f"key column {key!r} not in schema of table {name!r}")
+        self._rows: dict[RowId, dict[str, Any]] = {}
+        self._next_rowid: RowId = 0
+        self._key_map: dict[Any, RowId] = {}
+        self._indexes: dict[str, "TableIndex"] = {}
+        self._frozen = False
+        self._version = 0
+
+    # -- introspection ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:
+        return f"Table({self.name!r}, rows={len(self._rows)})"
+
+    @property
+    def version(self) -> int:
+        """A counter bumped on every mutation; used for plan-cache invalidation."""
+        return self._version
+
+    @property
+    def frozen(self) -> bool:
+        return self._frozen
+
+    def row_ids(self) -> Iterator[RowId]:
+        return iter(self._rows.keys())
+
+    def rows(self) -> Iterator[dict[str, Any]]:
+        """Iterate over row dicts (shared references — do not mutate)."""
+        return iter(self._rows.values())
+
+    def scan(self) -> Iterator[dict[str, Any]]:
+        """Iterate over copies of the rows, safe for downstream mutation."""
+        for row in self._rows.values():
+            yield dict(row)
+
+    def get(self, rowid: RowId) -> dict[str, Any]:
+        """Return the row stored under *rowid* (a shared reference)."""
+        try:
+            return self._rows[rowid]
+        except KeyError:
+            raise ExecutionError(f"table {self.name!r} has no row id {rowid}") from None
+
+    def get_by_key(self, key_value: Any) -> dict[str, Any] | None:
+        """Return the row whose key column equals *key_value*, if any."""
+        if self.key is None:
+            raise ExecutionError(f"table {self.name!r} has no key column")
+        rowid = self._key_map.get(key_value)
+        return None if rowid is None else self._rows[rowid]
+
+    def rowid_for_key(self, key_value: Any) -> RowId | None:
+        if self.key is None:
+            raise ExecutionError(f"table {self.name!r} has no key column")
+        return self._key_map.get(key_value)
+
+    def column_values(self, name: str) -> list[Any]:
+        """Return all values of one column (used by the statistics collector)."""
+        resolved = self.schema.resolve(name)
+        return [row[resolved] for row in self._rows.values()]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def _check_writable(self) -> None:
+        if self._frozen:
+            raise ExecutionError(
+                f"table {self.name!r} is frozen (state tables are read-only during "
+                "the query and effect steps of a tick)"
+            )
+
+    def insert(self, values: Mapping[str, Any]) -> RowId:
+        """Insert a row built from *values* (defaults filled in); return its id."""
+        self._check_writable()
+        row = self.schema.new_row(values)
+        if self.key is not None:
+            key_value = row[self.schema.resolve(self.key)]
+            if key_value in self._key_map:
+                raise ExecutionError(
+                    f"duplicate key {key_value!r} in table {self.name!r}"
+                )
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        if self.key is not None:
+            self._key_map[row[self.schema.resolve(self.key)]] = rowid
+        for index in self._indexes.values():
+            index.on_insert(rowid, row)
+        self._version += 1
+        return rowid
+
+    def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[RowId]:
+        """Insert many rows; returns their row ids in order."""
+        return [self.insert(r) for r in rows]
+
+    def update(self, rowid: RowId, changes: Mapping[str, Any]) -> None:
+        """Apply *changes* (column → new value) to the row *rowid*."""
+        self._check_writable()
+        row = self.get(rowid)
+        old = dict(row)
+        resolved_changes = {}
+        for name, value in changes.items():
+            column = self.schema.column(name)
+            resolved_changes[column.name] = value
+        for name, value in resolved_changes.items():
+            column = self.schema.column(name)
+            from repro.engine.types import coerce_value
+
+            row[name] = coerce_value(column.dtype, value)
+        if self.key is not None:
+            key_col = self.schema.resolve(self.key)
+            if old[key_col] != row[key_col]:
+                if row[key_col] in self._key_map:
+                    row.update(old)
+                    raise ExecutionError(
+                        f"duplicate key {row[key_col]!r} in table {self.name!r}"
+                    )
+                del self._key_map[old[key_col]]
+                self._key_map[row[key_col]] = rowid
+        for index in self._indexes.values():
+            index.on_update(rowid, old, row)
+        self._version += 1
+
+    def update_by_key(self, key_value: Any, changes: Mapping[str, Any]) -> None:
+        rowid = self.rowid_for_key(key_value)
+        if rowid is None:
+            raise ExecutionError(f"no row with key {key_value!r} in table {self.name!r}")
+        self.update(rowid, changes)
+
+    def delete(self, rowid: RowId) -> None:
+        """Remove the row *rowid*."""
+        self._check_writable()
+        row = self.get(rowid)
+        del self._rows[rowid]
+        if self.key is not None:
+            key_col = self.schema.resolve(self.key)
+            self._key_map.pop(row[key_col], None)
+        for index in self._indexes.values():
+            index.on_delete(rowid, row)
+        self._version += 1
+
+    def delete_where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> int:
+        """Delete all rows matching *predicate*; return how many were removed."""
+        doomed = [rid for rid, row in self._rows.items() if predicate(row)]
+        for rid in doomed:
+            self.delete(rid)
+        return len(doomed)
+
+    def clear(self) -> None:
+        """Remove every row (indexes are rebuilt empty)."""
+        self._check_writable()
+        self._rows.clear()
+        self._key_map.clear()
+        for index in self._indexes.values():
+            index.rebuild(self)
+        self._version += 1
+
+    # -- freeze / snapshot --------------------------------------------------------
+
+    def freeze(self) -> None:
+        """Mark the table read-only (query/effect steps of a tick)."""
+        self._frozen = True
+
+    def thaw(self) -> None:
+        """Make the table writable again (update step of a tick)."""
+        self._frozen = False
+
+    def snapshot(self) -> dict[RowId, dict[str, Any]]:
+        """Return a deep-enough copy of the row store for later :meth:`restore`."""
+        return {rid: dict(row) for rid, row in self._rows.items()}
+
+    def restore(self, snapshot: Mapping[RowId, Mapping[str, Any]]) -> None:
+        """Replace the contents of the table with a previous :meth:`snapshot`."""
+        was_frozen = self._frozen
+        self._frozen = False
+        self._rows = {rid: dict(row) for rid, row in snapshot.items()}
+        self._next_rowid = max(self._rows.keys(), default=-1) + 1
+        self._key_map = {}
+        if self.key is not None:
+            key_col = self.schema.resolve(self.key)
+            for rid, row in self._rows.items():
+                self._key_map[row[key_col]] = rid
+        for index in self._indexes.values():
+            index.rebuild(self)
+        self._version += 1
+        self._frozen = was_frozen
+
+    # -- index registration ---------------------------------------------------------
+
+    def attach_index(self, name: str, index: "TableIndex") -> None:
+        """Register *index* under *name* and populate it from current rows."""
+        if name in self._indexes:
+            raise CatalogError(f"index {name!r} already exists on table {self.name!r}")
+        index.rebuild(self)
+        self._indexes[name] = index
+
+    def detach_index(self, name: str) -> None:
+        if name not in self._indexes:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}")
+        del self._indexes[name]
+
+    def index(self, name: str) -> "TableIndex":
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index {name!r} on table {self.name!r}") from None
+
+    @property
+    def indexes(self) -> dict[str, "TableIndex"]:
+        return dict(self._indexes)
+
+    def find_index_on(self, columns: Sequence[str]) -> "TableIndex | None":
+        """Return an index whose key columns are exactly *columns*, if any."""
+        wanted = tuple(self.schema.resolve(c) for c in columns)
+        for index in self._indexes.values():
+            if tuple(index.columns) == wanted:
+                return index
+        return None
+
+
+class TableIndex:
+    """Interface implemented by all secondary indexes.
+
+    Concrete index structures live in :mod:`repro.engine.indexes`; they keep
+    a mapping from key values (one or more columns) to row ids and are
+    notified by the owning :class:`Table` on every mutation.
+    """
+
+    #: The resolved column names this index is keyed on.
+    columns: tuple[str, ...] = ()
+
+    def on_insert(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def on_delete(self, rowid: RowId, row: Mapping[str, Any]) -> None:
+        raise NotImplementedError
+
+    def on_update(self, rowid: RowId, old: Mapping[str, Any], new: Mapping[str, Any]) -> None:
+        self.on_delete(rowid, old)
+        self.on_insert(rowid, new)
+
+    def rebuild(self, table: "Table") -> None:
+        """Discard contents and re-add every row of *table*."""
+        raise NotImplementedError

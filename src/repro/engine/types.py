@@ -1,0 +1,183 @@
+"""Column data types for the SGL engine.
+
+The paper's class declarations (Section 2.1, Figure 1) use a small set of
+scalar types (``number``, ``bool``, ``string``), plus two structured types
+added when the compiler took over schema generation: *references* to other
+game objects and *(unordered) sets*.  This module defines those types, the
+coercion rules used when values flow from scripts into tables, and the
+default value for each type.
+
+Types are deliberately permissive in the way a game scripting language is:
+``number`` covers both ints and floats, and comparisons between numbers and
+booleans behave like Python.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Any
+
+from repro.engine.errors import TypeMismatchError
+
+__all__ = [
+    "DataType",
+    "Ref",
+    "ValueSet",
+    "coerce_value",
+    "default_value",
+    "is_valid",
+    "type_of_value",
+]
+
+
+class DataType(enum.Enum):
+    """Enumeration of column types supported by the engine.
+
+    ``NUMBER``
+        Integers and floats (the paper's ``number``).
+    ``BOOL``
+        Booleans.
+    ``STRING``
+        Unicode strings.
+    ``REF``
+        A reference to another row (game object), stored as the referenced
+        object id or ``None``.
+    ``SET``
+        An unordered set of scalar values, stored as a :class:`frozenset`.
+    ``ANY``
+        Used internally for computed columns whose type is not statically
+        known (e.g. results of user-defined combinators).
+    """
+
+    NUMBER = "number"
+    BOOL = "bool"
+    STRING = "string"
+    REF = "ref"
+    SET = "set"
+    ANY = "any"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+class Ref:
+    """A typed reference to a game object (row) in some class table.
+
+    A :class:`Ref` is a small immutable value object; it compares equal to
+    another reference with the same target class and object id.  The engine
+    stores references in ``REF`` columns; ``None`` is the null reference.
+    """
+
+    __slots__ = ("class_name", "oid")
+
+    def __init__(self, class_name: str, oid: int):
+        self.class_name = class_name
+        self.oid = int(oid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Ref):
+            return NotImplemented
+        return self.class_name == other.class_name and self.oid == other.oid
+
+    def __hash__(self) -> int:
+        return hash((self.class_name, self.oid))
+
+    def __repr__(self) -> str:
+        return f"Ref({self.class_name!r}, {self.oid})"
+
+
+#: The concrete Python type used to store SET columns.
+ValueSet = frozenset
+
+
+def default_value(dtype: DataType) -> Any:
+    """Return the default value stored for a column of type *dtype*.
+
+    Mirrors the defaults in the paper's Figure 1 (``number player = 0``):
+    numbers default to ``0``, booleans to ``False``, strings to ``""``,
+    references to ``None`` and sets to the empty frozenset.
+    """
+    if dtype is DataType.NUMBER:
+        return 0
+    if dtype is DataType.BOOL:
+        return False
+    if dtype is DataType.STRING:
+        return ""
+    if dtype is DataType.REF:
+        return None
+    if dtype is DataType.SET:
+        return frozenset()
+    return None
+
+
+def is_valid(dtype: DataType, value: Any) -> bool:
+    """Return whether *value* is acceptable for a column of type *dtype*."""
+    if value is None:
+        # Null is allowed in every type; nullability is enforced by Schema.
+        return True
+    if dtype is DataType.NUMBER:
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if dtype is DataType.BOOL:
+        return isinstance(value, bool)
+    if dtype is DataType.STRING:
+        return isinstance(value, str)
+    if dtype is DataType.REF:
+        return isinstance(value, (Ref, int))
+    if dtype is DataType.SET:
+        return isinstance(value, (set, frozenset))
+    return True  # ANY
+
+
+def coerce_value(dtype: DataType, value: Any) -> Any:
+    """Coerce *value* into the canonical representation for *dtype*.
+
+    Raises :class:`TypeMismatchError` when the value cannot be represented.
+    Numeric strings are *not* coerced — scripts must be explicit — but ints
+    are accepted for ``NUMBER``, plain ints for ``REF`` (an untyped object
+    id), and mutable sets are frozen for ``SET`` columns.
+    """
+    if value is None:
+        return None
+    if dtype is DataType.NUMBER:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise TypeMismatchError(f"expected number, got {value!r}")
+        if isinstance(value, float) and math.isnan(value):
+            raise TypeMismatchError("NaN is not a valid number value")
+        return value
+    if dtype is DataType.BOOL:
+        if not isinstance(value, bool):
+            raise TypeMismatchError(f"expected bool, got {value!r}")
+        return value
+    if dtype is DataType.STRING:
+        if not isinstance(value, str):
+            raise TypeMismatchError(f"expected string, got {value!r}")
+        return value
+    if dtype is DataType.REF:
+        if isinstance(value, Ref):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return value
+        raise TypeMismatchError(f"expected reference, got {value!r}")
+    if dtype is DataType.SET:
+        if isinstance(value, frozenset):
+            return value
+        if isinstance(value, (set, list, tuple)):
+            return frozenset(value)
+        raise TypeMismatchError(f"expected set, got {value!r}")
+    return value  # ANY
+
+
+def type_of_value(value: Any) -> DataType:
+    """Infer the :class:`DataType` of a Python value (used for literals)."""
+    if isinstance(value, bool):
+        return DataType.BOOL
+    if isinstance(value, (int, float)):
+        return DataType.NUMBER
+    if isinstance(value, str):
+        return DataType.STRING
+    if isinstance(value, Ref):
+        return DataType.REF
+    if isinstance(value, (set, frozenset)):
+        return DataType.SET
+    return DataType.ANY

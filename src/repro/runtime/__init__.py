@@ -1,0 +1,46 @@
+"""The SGL game runtime: the state-effect tick engine, effect combination,
+update components (physics, pathfinding, transactions, scheduling),
+reactive scripting and debugging tools."""
+
+from repro.runtime.effects import CombinedEffects, EffectStore, combinator_identity
+from repro.runtime.pathfinding import GridMap, PathfindingComponent, PathfindingConfig, astar
+from repro.runtime.physics import CollisionEvent, PhysicsComponent, PhysicsConfig
+from repro.runtime.reactive import FiredHandler, Handler, ReactiveDispatcher
+from repro.runtime.scheduler import MultiTickScheduler
+from repro.runtime.transactions import TransactionEngine, TransactionOutcome, TransactionReport
+from repro.runtime.updates import (
+    ExpressionUpdater,
+    OwnershipRegistry,
+    StateUpdate,
+    UpdateComponent,
+    UpdateRule,
+)
+from repro.runtime.world import ExecutionMode, GameWorld, TickReport
+
+__all__ = [
+    "CombinedEffects",
+    "EffectStore",
+    "combinator_identity",
+    "GridMap",
+    "PathfindingComponent",
+    "PathfindingConfig",
+    "astar",
+    "CollisionEvent",
+    "PhysicsComponent",
+    "PhysicsConfig",
+    "FiredHandler",
+    "Handler",
+    "ReactiveDispatcher",
+    "MultiTickScheduler",
+    "TransactionEngine",
+    "TransactionOutcome",
+    "TransactionReport",
+    "ExpressionUpdater",
+    "OwnershipRegistry",
+    "StateUpdate",
+    "UpdateComponent",
+    "UpdateRule",
+    "ExecutionMode",
+    "GameWorld",
+    "TickReport",
+]

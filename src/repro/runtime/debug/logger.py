@@ -1,0 +1,92 @@
+"""Logging with resumable checkpoints (Section 3.3).
+
+"SGL should include support for logging, including resumable checkpoints."
+:class:`TickLogger` hooks a :class:`~repro.runtime.world.GameWorld`,
+records a compact log line per tick, snapshots the full world state every
+``checkpoint_every`` ticks, and can rewind the world to any earlier tick by
+restoring the nearest checkpoint at or before it and deterministically
+re-running ticks up to the requested point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.engine.errors import ExecutionError
+from repro.runtime.world import GameWorld, TickReport
+
+__all__ = ["Checkpoint", "TickLogger"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A restorable snapshot of the world at one tick boundary."""
+
+    tick: int
+    snapshot: Mapping[str, Any]
+
+
+@dataclass
+class TickLogger:
+    """Records per-tick log entries and periodic checkpoints."""
+
+    world: GameWorld
+    checkpoint_every: int = 10
+    log_lines: list[str] = field(default_factory=list)
+    checkpoints: list[Checkpoint] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every <= 0:
+            raise ExecutionError("checkpoint_every must be positive")
+        # Always checkpoint the initial state so any tick can be reached.
+        self.checkpoints.append(Checkpoint(self.world.tick_count, self.world.snapshot()))
+
+    # -- recording --------------------------------------------------------------------------
+
+    def tick(self) -> TickReport:
+        """Run one world tick, logging and checkpointing it."""
+        report = self.world.tick()
+        self.log_lines.append(self._format(report))
+        if self.world.tick_count % self.checkpoint_every == 0:
+            self.checkpoints.append(Checkpoint(self.world.tick_count, self.world.snapshot()))
+        return report
+
+    def run(self, ticks: int) -> list[TickReport]:
+        return [self.tick() for _ in range(ticks)]
+
+    def _format(self, report: TickReport) -> str:
+        return (
+            f"tick={report.tick} assignments={report.effect_assignments} "
+            f"txn={report.transactions_committed}/{report.transactions_submitted} "
+            f"updates={report.state_updates_applied} handlers={report.handlers_fired} "
+            f"seconds={report.total_seconds:.5f}"
+        )
+
+    # -- resuming -------------------------------------------------------------------------------
+
+    def latest_checkpoint_at_or_before(self, tick: int) -> Checkpoint:
+        candidates = [c for c in self.checkpoints if c.tick <= tick]
+        if not candidates:
+            raise ExecutionError(f"no checkpoint at or before tick {tick}")
+        return max(candidates, key=lambda c: c.tick)
+
+    def rewind_to(self, tick: int) -> None:
+        """Restore the world to the state it had at the start of *tick*.
+
+        Restores the nearest earlier checkpoint and replays ticks (the tick
+        loop is deterministic for a fixed script set and update components).
+        """
+        if tick > self.world.tick_count:
+            raise ExecutionError(
+                f"cannot rewind forward (currently at tick {self.world.tick_count})"
+            )
+        checkpoint = self.latest_checkpoint_at_or_before(tick)
+        self.world.restore(checkpoint.snapshot)
+        while self.world.tick_count < tick:
+            self.world.tick()
+        # Drop log lines past the rewind point so the log matches the state.
+        self.log_lines = self.log_lines[: tick if tick >= 0 else 0]
+        self.checkpoints = [c for c in self.checkpoints if c.tick <= tick]
+        if not self.checkpoints or self.checkpoints[0].tick > 0:
+            self.checkpoints.insert(0, Checkpoint(self.world.tick_count, self.world.snapshot()))

@@ -1,0 +1,126 @@
+"""Effect accumulation and combination (the ⊕ of the state-effect pattern).
+
+During the effect step scripts only *propose* values; at the end of the
+tick every effect variable's proposals are combined with the aggregate
+function declared for it in the class definition (Section 2, Figure 1).
+:class:`EffectStore` accumulates :class:`~repro.sgl.ir.EffectAssignment`
+objects and produces the combined per-object values the update step reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.engine.aggregates import AGGREGATE_NAMES, Accumulator, make_accumulator
+from repro.sgl.ast_nodes import ClassDecl
+from repro.sgl.ir import EffectAssignment
+from repro.sgl.semantics import COMBINATOR_ALIASES
+
+__all__ = ["EffectStore", "CombinedEffects", "combinator_identity"]
+
+#: Identity values reported for effects that received no assignments.
+_IDENTITIES = {
+    "sum": 0,
+    "count": 0,
+    "any": False,
+    "all": True,
+    "union": frozenset(),
+    "collect": (),
+}
+
+
+def combinator_identity(combinator: str) -> Any:
+    """The value an effect takes when nothing was assigned to it this tick."""
+    return _IDENTITIES.get(COMBINATOR_ALIASES.get(combinator, combinator))
+
+
+@dataclass
+class CombinedEffects:
+    """Combined effect values for one tick: (class, id) -> {effect: value}.
+
+    Also records how many raw assignments fed each value, which the
+    debugger's per-NPC effect inspector (Section 3.3) displays.
+    """
+
+    values: dict[tuple[str, Any], dict[str, Any]] = field(default_factory=dict)
+    assignment_counts: dict[tuple[str, Any], dict[str, int]] = field(default_factory=dict)
+
+    def for_object(self, class_name: str, object_id: Any) -> dict[str, Any]:
+        return self.values.get((class_name, object_id), {})
+
+    def value(self, class_name: str, object_id: Any, effect: str, default: Any = None) -> Any:
+        return self.for_object(class_name, object_id).get(effect, default)
+
+    def objects_with_effects(self, class_name: str) -> list[Any]:
+        return [oid for (cls, oid) in self.values if cls == class_name]
+
+    def total_assignments(self) -> int:
+        return sum(sum(counts.values()) for counts in self.assignment_counts.values())
+
+
+class EffectStore:
+    """Accumulates effect assignments during a tick and combines them."""
+
+    def __init__(self, classes: Mapping[str, ClassDecl]):
+        self._classes = dict(classes)
+        self._accumulators: dict[tuple[str, Any, str], Accumulator] = {}
+        self._counts: dict[tuple[str, Any, str], int] = {}
+
+    # -- accumulation -----------------------------------------------------------------------
+
+    def add(self, assignment: EffectAssignment) -> None:
+        """Fold one assignment into the store.
+
+        Set-inserts (``<=``) always combine with set union regardless of the
+        declared combinator, matching the paper's container semantics.
+        """
+        combinator = self._combinator_for(assignment)
+        key = (assignment.class_name, assignment.target_id, assignment.effect)
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            accumulator = make_accumulator(combinator)
+            self._accumulators[key] = accumulator
+            self._counts[key] = 0
+        accumulator.add(assignment.value)
+        self._counts[key] += 1
+
+    def add_all(self, assignments: Iterable[EffectAssignment]) -> None:
+        for assignment in assignments:
+            self.add(assignment)
+
+    def _combinator_for(self, assignment: EffectAssignment) -> str:
+        if assignment.set_insert:
+            return "union"
+        class_decl = self._classes.get(assignment.class_name)
+        if class_decl is not None:
+            effect = class_decl.effect_field(assignment.effect)
+            if effect is not None:
+                return COMBINATOR_ALIASES.get(effect.combinator, effect.combinator)
+        # Unknown effect (e.g. synthetic effects used by update components):
+        # default to choose so a single writer behaves like plain assignment.
+        return "choose"
+
+    # -- results -------------------------------------------------------------------------------
+
+    def combine(self) -> CombinedEffects:
+        """Produce the combined values and reset nothing (idempotent)."""
+        combined = CombinedEffects()
+        for (class_name, object_id, effect), accumulator in self._accumulators.items():
+            obj_key = (class_name, object_id)
+            combined.values.setdefault(obj_key, {})[effect] = accumulator.result()
+            combined.assignment_counts.setdefault(obj_key, {})[effect] = self._counts[
+                (class_name, object_id, effect)
+            ]
+        return combined
+
+    def clear(self) -> None:
+        self._accumulators.clear()
+        self._counts.clear()
+
+    def __len__(self) -> int:
+        return len(self._accumulators)
+
+    @staticmethod
+    def known_combinators() -> tuple[str, ...]:
+        return AGGREGATE_NAMES

@@ -1,0 +1,174 @@
+"""A kinematic physics engine packaged as an update component (Section 2.2).
+
+The paper's point about physics is architectural: the physics engine is a
+non-scripted subsystem that *owns* position state, consumes the velocity
+intentions scripts assign as effects, and may produce outcomes "that were
+not mentioned in either script" — for example separating two characters
+that tried to move to the same spot.  This component implements exactly
+that contract:
+
+1. integrate intended velocities (effect variables, default ``vx``/``vy``)
+   scaled by the tick length,
+2. clamp positions to the world bounds,
+3. resolve pairwise overlaps by pushing colliding objects apart along the
+   line between their centres (a single Gauss-Seidel style pass over pairs
+   found with a uniform grid), which can leave characters at positions no
+   script asked for.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.runtime.effects import CombinedEffects
+from repro.runtime.updates import StateUpdate, UpdateComponent, WorldStateView
+
+__all__ = ["PhysicsConfig", "PhysicsComponent", "CollisionEvent"]
+
+
+@dataclass(frozen=True)
+class PhysicsConfig:
+    """Tuning parameters for the physics component."""
+
+    class_name: str = "Unit"
+    x_attribute: str = "x"
+    y_attribute: str = "y"
+    vx_effect: str = "vx"
+    vy_effect: str = "vy"
+    tick_seconds: float = 1.0
+    world_min_x: float = 0.0
+    world_min_y: float = 0.0
+    world_max_x: float = 1000.0
+    world_max_y: float = 1000.0
+    #: Objects closer than this (in both axes) are considered colliding.
+    collision_radius: float = 0.0
+    #: Maximum speed per tick; intended velocities are clamped to it.
+    max_speed: float | None = None
+    collision_passes: int = 1
+
+
+@dataclass(frozen=True)
+class CollisionEvent:
+    """Two objects that had to be separated during a tick."""
+
+    first_id: Any
+    second_id: Any
+    overlap: float
+
+
+class PhysicsComponent(UpdateComponent):
+    """Owns the position attributes of one class and integrates motion."""
+
+    name = "physics"
+
+    def __init__(self, config: PhysicsConfig | None = None):
+        self.config = config or PhysicsConfig()
+        #: Collision events of the most recent tick (for debugging and tests).
+        self.last_collisions: list[CollisionEvent] = []
+
+    def owned_attributes(self) -> dict[str, set[str]]:
+        cfg = self.config
+        return {cfg.class_name: {cfg.x_attribute, cfg.y_attribute}}
+
+    # -- update computation -------------------------------------------------------------------
+
+    def compute_updates(
+        self, state: WorldStateView, effects: CombinedEffects
+    ) -> list[StateUpdate]:
+        cfg = self.config
+        positions: dict[Any, tuple[float, float]] = {}
+        for row in state.objects(cfg.class_name):
+            vx, vy = self._intended_velocity(row, effects)
+            x = float(row[cfg.x_attribute]) + vx * cfg.tick_seconds
+            y = float(row[cfg.y_attribute]) + vy * cfg.tick_seconds
+            positions[row["id"]] = self._clamp(x, y)
+        self.last_collisions = []
+        if cfg.collision_radius > 0 and len(positions) > 1:
+            for _ in range(max(1, cfg.collision_passes)):
+                if not self._resolve_collisions(positions):
+                    break
+        updates: list[StateUpdate] = []
+        for object_id, (x, y) in positions.items():
+            updates.append(StateUpdate(cfg.class_name, object_id, cfg.x_attribute, x))
+            updates.append(StateUpdate(cfg.class_name, object_id, cfg.y_attribute, y))
+        return updates
+
+    def _intended_velocity(
+        self, row: Mapping[str, Any], effects: CombinedEffects
+    ) -> tuple[float, float]:
+        cfg = self.config
+        values = effects.for_object(cfg.class_name, row["id"])
+        vx = values.get(cfg.vx_effect)
+        vy = values.get(cfg.vy_effect)
+        vx = 0.0 if vx is None else float(vx)
+        vy = 0.0 if vy is None else float(vy)
+        if cfg.max_speed is not None:
+            speed = math.hypot(vx, vy)
+            if speed > cfg.max_speed > 0:
+                scale = cfg.max_speed / speed
+                vx *= scale
+                vy *= scale
+        return vx, vy
+
+    def _clamp(self, x: float, y: float) -> tuple[float, float]:
+        cfg = self.config
+        return (
+            min(max(x, cfg.world_min_x), cfg.world_max_x),
+            min(max(y, cfg.world_min_y), cfg.world_max_y),
+        )
+
+    # -- collision handling ----------------------------------------------------------------------
+
+    def _resolve_collisions(self, positions: dict[Any, tuple[float, float]]) -> bool:
+        """Separate overlapping pairs; returns whether anything moved."""
+        cfg = self.config
+        radius = cfg.collision_radius
+        cell = max(radius * 2.0, 1e-9)
+        grid: dict[tuple[int, int], list[Any]] = defaultdict(list)
+        for object_id, (x, y) in positions.items():
+            grid[(int(x // cell), int(y // cell))].append(object_id)
+        moved = False
+        for (cx, cy), members in list(grid.items()):
+            neighbourhood: list[Any] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    neighbourhood.extend(grid.get((cx + dx, cy + dy), ()))
+            for i, first in enumerate(members):
+                for second in neighbourhood:
+                    if second == first:
+                        continue
+                    if not self._ordered(first, second):
+                        continue
+                    x1, y1 = positions[first]
+                    x2, y2 = positions[second]
+                    dx = x2 - x1
+                    dy = y2 - y1
+                    distance = math.hypot(dx, dy)
+                    min_distance = 2 * radius
+                    if distance >= min_distance:
+                        continue
+                    overlap = min_distance - distance
+                    if distance < 1e-12:
+                        # Perfectly stacked: separate along x deterministically.
+                        dx, dy, distance = 1.0, 0.0, 1.0
+                    push = overlap / 2.0
+                    positions[first] = self._clamp(
+                        x1 - push * dx / distance, y1 - push * dy / distance
+                    )
+                    positions[second] = self._clamp(
+                        x2 + push * dx / distance, y2 + push * dy / distance
+                    )
+                    self.last_collisions.append(CollisionEvent(first, second, overlap))
+                    moved = True
+        return moved
+
+    @staticmethod
+    def _ordered(first: Any, second: Any) -> bool:
+        """Process each unordered pair once, deterministically."""
+        try:
+            return first < second
+        except TypeError:
+            return repr(first) < repr(second)

@@ -1,0 +1,98 @@
+"""Multi-tick script scheduling (Section 3.2).
+
+``waitNextTick`` gives scripts an implicit program counter.  The scheduler
+is the update component that owns those counters: after the effect step it
+advances every object's counter to the next segment (wrapping at the end),
+and it exposes :meth:`MultiTickScheduler.reset` so reactive handlers can
+interrupt a multi-tick behaviour and restart it — the paper's
+"resumable exception" analogy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.runtime.effects import CombinedEffects
+from repro.runtime.updates import StateUpdate, UpdateComponent, WorldStateView
+from repro.sgl.multitick import SegmentedScript
+
+__all__ = ["MultiTickScheduler"]
+
+
+@dataclass
+class _ScheduledScript:
+    segmented: SegmentedScript
+    class_name: str
+    pc_attribute: str
+
+
+class MultiTickScheduler(UpdateComponent):
+    """Owns the implicit program-counter attributes of multi-tick scripts."""
+
+    name = "multi-tick-scheduler"
+
+    def __init__(self) -> None:
+        self._scripts: dict[str, _ScheduledScript] = {}
+        #: (class, object id) pairs whose counters must reset to 0 this tick
+        #: (set by reactive interrupts), script name -> set of object ids.
+        self._pending_resets: dict[str, set[Any]] = {}
+
+    # -- registration ------------------------------------------------------------------------
+
+    def register(self, segmented: SegmentedScript, class_name: str) -> None:
+        """Track a multi-tick script; single-segment scripts are ignored."""
+        if not segmented.is_multi_tick:
+            return
+        self._scripts[segmented.script.name] = _ScheduledScript(
+            segmented=segmented,
+            class_name=class_name,
+            pc_attribute=segmented.pc_variable,
+        )
+
+    @property
+    def script_names(self) -> list[str]:
+        return sorted(self._scripts)
+
+    def pc_attribute(self, script_name: str) -> str:
+        return self._scripts[script_name].pc_attribute
+
+    # -- interrupts -----------------------------------------------------------------------------
+
+    def reset(self, script_name: str, object_id: Any) -> None:
+        """Reset one object's program counter to segment 0 at the next update.
+
+        Used by reactive handlers to interrupt an in-progress multi-tick
+        behaviour (Section 3.2's interruptible intentions).
+        """
+        if script_name in self._scripts:
+            self._pending_resets.setdefault(script_name, set()).add(object_id)
+
+    # -- update component protocol -------------------------------------------------------------------
+
+    def owned_attributes(self) -> dict[str, set[str]]:
+        owned: dict[str, set[str]] = {}
+        for scheduled in self._scripts.values():
+            owned.setdefault(scheduled.class_name, set()).add(scheduled.pc_attribute)
+        return owned
+
+    def compute_updates(
+        self, state: WorldStateView, effects: CombinedEffects
+    ) -> list[StateUpdate]:
+        updates: list[StateUpdate] = []
+        for script_name, scheduled in self._scripts.items():
+            resets = self._pending_resets.get(script_name, set())
+            for row in state.objects(scheduled.class_name):
+                current = int(row.get(scheduled.pc_attribute, 0) or 0)
+                if row["id"] in resets:
+                    new_pc = 0
+                else:
+                    new_pc = scheduled.segmented.next_pc(current)
+                if new_pc != current:
+                    updates.append(
+                        StateUpdate(
+                            scheduled.class_name, row["id"], scheduled.pc_attribute, new_pc
+                        )
+                    )
+        self._pending_resets = {}
+        return updates

@@ -1,0 +1,201 @@
+"""The update-component framework (Section 2.2).
+
+At the end of each tick, state attributes are updated from the combined
+effects.  Simple attributes use expression rules (``health = health −
+damage``); others are owned by dedicated subsystems — the physics engine,
+pathfinding, the transaction engine — that "take effect assignments as
+input, but [whose] actions are not expressible in SGL".
+
+The framework enforces the paper's ownership rule: *"each state attribute
+is assigned to (or owned by) a single update component … we require that
+the state variables be strictly partitioned among these components to avoid
+introducing any ordering constraints."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Protocol, Sequence
+
+from repro.engine.errors import ConstraintViolation
+from repro.engine.expressions import Expression
+from repro.runtime.effects import CombinedEffects
+
+__all__ = [
+    "StateUpdate",
+    "WorldStateView",
+    "UpdateComponent",
+    "ExpressionUpdater",
+    "UpdateRule",
+    "OwnershipRegistry",
+]
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """One new value for one state attribute of one object."""
+
+    class_name: str
+    object_id: Any
+    attribute: str
+    value: Any
+
+
+class WorldStateView(Protocol):
+    """Read access to current state that update components receive."""
+
+    def objects(self, class_name: str) -> Iterable[Mapping[str, Any]]:
+        ...
+
+    def get_object(self, class_name: str, object_id: Any) -> Mapping[str, Any] | None:
+        ...
+
+    def class_names(self) -> Sequence[str]:
+        ...
+
+
+class UpdateComponent:
+    """Base class for update components.
+
+    Subclasses declare which attributes of which classes they own and
+    produce :class:`StateUpdate` objects from the combined effects.
+    """
+
+    #: Human-readable name used in ownership error messages and debug output.
+    name = "update-component"
+
+    def owned_attributes(self) -> dict[str, set[str]]:
+        """Mapping class name -> set of state attribute names this owns."""
+        raise NotImplementedError
+
+    def compute_updates(
+        self, state: WorldStateView, effects: CombinedEffects
+    ) -> list[StateUpdate]:
+        """Compute the new values of the owned attributes for this tick."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class UpdateRule:
+    """An expression-style update rule for one attribute of one class.
+
+    ``compute`` receives the object's current state row and its combined
+    effect values (missing effects appear with their identity or ``None``)
+    and returns the attribute's new value.  The classic paper example
+    ``health = health - damage`` is ``lambda state, effects:
+    state["health"] - effects.get("damage", 0)``.
+
+    ``expression`` may be used instead of ``compute``: an engine expression
+    evaluated over a row containing both the state fields and the effect
+    values (state and effect names never collide, they are disjoint by
+    construction).
+    """
+
+    class_name: str
+    attribute: str
+    compute: Callable[[Mapping[str, Any], Mapping[str, Any]], Any] | None = None
+    expression: Expression | None = None
+
+    def apply(self, state_row: Mapping[str, Any], effect_values: Mapping[str, Any]) -> Any:
+        if self.compute is not None:
+            return self.compute(state_row, effect_values)
+        if self.expression is not None:
+            merged = dict(state_row)
+            merged.update(effect_values)
+            return self.expression.evaluate(merged)
+        raise ConstraintViolation(
+            f"update rule for {self.class_name}.{self.attribute} has neither a callable "
+            "nor an expression"
+        )
+
+
+class ExpressionUpdater(UpdateComponent):
+    """The default update component: one expression rule per owned attribute."""
+
+    name = "expression-updater"
+
+    def __init__(self, rules: Sequence[UpdateRule] = ()):
+        self._rules: list[UpdateRule] = list(rules)
+
+    def add_rule(self, rule: UpdateRule) -> None:
+        self._rules.append(rule)
+
+    def rule(
+        self,
+        class_name: str,
+        attribute: str,
+        compute: Callable[[Mapping[str, Any], Mapping[str, Any]], Any] | None = None,
+        expression: Expression | None = None,
+    ) -> "ExpressionUpdater":
+        """Fluent helper: ``updater.rule("Unit", "health", fn)``."""
+        self.add_rule(UpdateRule(class_name, attribute, compute, expression))
+        return self
+
+    def owned_attributes(self) -> dict[str, set[str]]:
+        owned: dict[str, set[str]] = {}
+        for rule in self._rules:
+            owned.setdefault(rule.class_name, set()).add(rule.attribute)
+        return owned
+
+    def compute_updates(
+        self, state: WorldStateView, effects: CombinedEffects
+    ) -> list[StateUpdate]:
+        updates: list[StateUpdate] = []
+        for rule in self._rules:
+            for row in state.objects(rule.class_name):
+                effect_values = effects.for_object(rule.class_name, row["id"])
+                value = rule.apply(row, effect_values)
+                updates.append(StateUpdate(rule.class_name, row["id"], rule.attribute, value))
+        return updates
+
+
+class OwnershipRegistry:
+    """Validates that state attributes are strictly partitioned among
+    components and routes updates."""
+
+    def __init__(self) -> None:
+        self._components: list[UpdateComponent] = []
+        self._owner: dict[tuple[str, str], UpdateComponent] = {}
+
+    @property
+    def components(self) -> list[UpdateComponent]:
+        return list(self._components)
+
+    def register(self, component: UpdateComponent) -> None:
+        """Register *component*, checking the strict-partition rule."""
+        for class_name, attributes in component.owned_attributes().items():
+            for attribute in attributes:
+                key = (class_name, attribute)
+                if key in self._owner:
+                    raise ConstraintViolation(
+                        f"state attribute {class_name}.{attribute} is already owned by "
+                        f"{self._owner[key].name!r}; update components must own disjoint "
+                        "attribute sets"
+                    )
+        for class_name, attributes in component.owned_attributes().items():
+            for attribute in attributes:
+                self._owner[(class_name, attribute)] = component
+        self._components.append(component)
+
+    def owner_of(self, class_name: str, attribute: str) -> UpdateComponent | None:
+        return self._owner.get((class_name, attribute))
+
+    def owned(self, class_name: str) -> set[str]:
+        return {attr for (cls, attr) in self._owner if cls == class_name}
+
+    def compute_all(
+        self, state: WorldStateView, effects: CombinedEffects
+    ) -> list[StateUpdate]:
+        """Run every component and check it only wrote what it owns."""
+        updates: list[StateUpdate] = []
+        for component in self._components:
+            produced = component.compute_updates(state, effects)
+            for update in produced:
+                owner = self._owner.get((update.class_name, update.attribute))
+                if owner is not component:
+                    raise ConstraintViolation(
+                        f"component {component.name!r} produced an update for "
+                        f"{update.class_name}.{update.attribute}, which it does not own"
+                    )
+            updates.extend(produced)
+        return updates

@@ -1,0 +1,495 @@
+"""The game world: classes, objects, scripts and the tick engine.
+
+:class:`GameWorld` ties every subsystem of the reproduction together and
+executes the paper's state-effect tick (Section 2):
+
+1. **Query + effect step** — state tables are frozen (read-only) and every
+   enabled script runs, either *compiled* (its effect queries execute
+   set-at-a-time on the relational engine) or *interpreted* (the reference
+   object-at-a-time walker).  Both produce the same IR: effect assignments
+   and transaction requests.
+2. **Update step** — effect assignments are combined per effect variable
+   with the declared combinators; transaction requests go to the
+   transaction engine; every registered update component computes new
+   values for the state attributes it owns; the scheduler advances the
+   program counters of multi-tick scripts.
+3. **Reactive dispatch** — handlers are evaluated against the post-update
+   state; the effects they produce participate in the *next* tick, and
+   interrupts reset multi-tick program counters (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.errors import ExecutionError
+from repro.engine.executor import Executor
+from repro.engine.expressions import Expression
+from repro.runtime.effects import CombinedEffects, EffectStore
+from repro.runtime.reactive import FiredHandler, Handler, ReactiveDispatcher
+from repro.runtime.scheduler import MultiTickScheduler
+from repro.runtime.transactions import TransactionEngine, TransactionReport
+from repro.runtime.updates import (
+    ExpressionUpdater,
+    OwnershipRegistry,
+    StateUpdate,
+    UpdateComponent,
+    UpdateRule,
+)
+from repro.sgl.ast_nodes import ClassDecl, NumberLiteral, Program, SglExpression, StateFieldDecl
+from repro.sgl.compiler import CompiledProgram, SGLCompiler
+from repro.sgl.interpreter import ScriptInterpreter
+from repro.sgl.ir import ACTOR_COLUMN, EffectAssignment, TARGET_COLUMN, TransactionRequest, VALUE_COLUMN
+from repro.sgl.multitick import pc_variable_name, segment_script
+from repro.sgl.parser import parse_program
+from repro.sgl.schema_gen import KEY_COLUMN, GeneratedSchema, SchemaGenerator, SchemaLayout
+from repro.sgl.semantics import AnalyzedProgram, analyze_program
+
+__all__ = ["ExecutionMode", "TickReport", "GameWorld"]
+
+
+class ExecutionMode(enum.Enum):
+    """How scripts are executed during the effect step."""
+
+    COMPILED = "compiled"
+    INTERPRETED = "interpreted"
+
+
+@dataclass
+class TickReport:
+    """Timings and counters for one tick (also consumed by benchmarks)."""
+
+    tick: int
+    effect_step_seconds: float = 0.0
+    update_step_seconds: float = 0.0
+    reactive_seconds: float = 0.0
+    effect_assignments: int = 0
+    transactions_submitted: int = 0
+    transactions_committed: int = 0
+    transactions_aborted: int = 0
+    handlers_fired: int = 0
+    state_updates_applied: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.effect_step_seconds + self.update_step_seconds + self.reactive_seconds
+
+
+class GameWorld:
+    """A running SGL game: schemas, objects, scripts and the tick loop."""
+
+    def __init__(
+        self,
+        source: str | Program,
+        mode: ExecutionMode = ExecutionMode.COMPILED,
+        layout: SchemaLayout = SchemaLayout.SINGLE,
+        vertical_groups: Sequence[Sequence[str]] | None = None,
+        optimize: bool = True,
+        use_indexes: bool = True,
+    ):
+        self.program = parse_program(source) if isinstance(source, str) else source
+        self.analyzed: AnalyzedProgram = analyze_program(self.program)
+        self.mode = mode
+        self.layout = layout
+
+        self._segmented = {
+            script.name: segment_script(script) for script in self.program.scripts
+        }
+        self.catalog = Catalog()
+        self.schema_generator = SchemaGenerator(layout, vertical_groups)
+        self.schemas: dict[str, GeneratedSchema] = {}
+        self._register_schemas()
+
+        self.executor = Executor(self.catalog, optimize=optimize, use_indexes=use_indexes)
+        self.interpreter = ScriptInterpreter(self.analyzed)
+        self.compiler = SGLCompiler(self.analyzed, self.schemas, self.schema_generator)
+        self._compiled: CompiledProgram | None = None
+
+        self.updates = OwnershipRegistry()
+        self.expression_updater = ExpressionUpdater()
+        self._expression_updater_registered = False
+        self.scheduler = MultiTickScheduler()
+        for script in self.program.scripts:
+            self.scheduler.register(self._segmented[script.name], script.class_name)
+        if self.scheduler.script_names:
+            self.updates.register(self.scheduler)
+        self.reactive = ReactiveDispatcher()
+        self._transaction_engine: TransactionEngine | None = None
+
+        self._next_ids: dict[str, int] = {decl.name: 0 for decl in self.program.classes}
+        self._enabled_scripts: list[str] = [script.name for script in self.program.scripts]
+        self.tick_count = 0
+        #: Combined effects of the most recent tick (debug inspection).
+        self.last_effects: CombinedEffects = CombinedEffects()
+        #: Transaction report of the most recent tick.
+        self.last_transaction_report: TransactionReport = TransactionReport()
+        #: Reports of every tick executed so far.
+        self.reports: list[TickReport] = []
+
+    # ------------------------------------------------------------------------------------------
+    # schema management
+    # ------------------------------------------------------------------------------------------
+
+    def _register_schemas(self) -> None:
+        for decl in self.program.classes:
+            augmented = self._augment_class(decl)
+            self.schemas[decl.name] = self.schema_generator.register(self.catalog, augmented)
+
+    def _augment_class(self, decl: ClassDecl) -> ClassDecl:
+        """Add implicit program-counter state fields for multi-tick scripts."""
+        extra: list[StateFieldDecl] = []
+        for script in self.program.scripts_for_class(decl.name):
+            segmented = self._segmented[script.name]
+            if segmented.is_multi_tick:
+                extra.append(
+                    StateFieldDecl(
+                        pc_variable_name(script.name), "number", NumberLiteral(0), None
+                    )
+                )
+        if not extra:
+            return decl
+        return ClassDecl(decl.name, decl.state_fields + tuple(extra), decl.effect_fields)
+
+    # ------------------------------------------------------------------------------------------
+    # object management
+    # ------------------------------------------------------------------------------------------
+
+    def class_names(self) -> list[str]:
+        return [decl.name for decl in self.program.classes]
+
+    def spawn(self, class_name: str, **fields: Any) -> int:
+        """Create a new object of *class_name*; returns its id."""
+        generated = self._generated(class_name)
+        known_columns = {
+            column.name
+            for schema in generated.state_tables.values()
+            for column in schema
+        }
+        unknown = sorted(set(fields) - known_columns)
+        if unknown:
+            raise ExecutionError(f"unknown fields for class {class_name!r}: {unknown}")
+        object_id = self._next_ids[class_name]
+        self._next_ids[class_name] += 1
+        remaining = dict(fields)
+        for table_name, schema in generated.state_tables.items():
+            values: dict[str, Any] = {KEY_COLUMN: object_id}
+            for column in schema:
+                if column.name in (KEY_COLUMN,):
+                    continue
+                if column.name in remaining:
+                    values[column.name] = remaining.pop(column.name)
+            self.catalog.table(table_name).insert(values)
+        return object_id
+
+    def spawn_many(self, class_name: str, rows: Iterable[Mapping[str, Any]]) -> list[int]:
+        return [self.spawn(class_name, **row) for row in rows]
+
+    def destroy(self, class_name: str, object_id: int) -> None:
+        """Remove an object from every partition table."""
+        generated = self._generated(class_name)
+        for table_name in generated.state_table_names():
+            table = self.catalog.table(table_name)
+            rowid = table.rowid_for_key(object_id)
+            if rowid is not None:
+                table.delete(rowid)
+
+    def count(self, class_name: str) -> int:
+        generated = self._generated(class_name)
+        return len(self.catalog.table(generated.primary_table))
+
+    def get_object(self, class_name: str, object_id: Any) -> dict[str, Any] | None:
+        """Merged state row of one object (implements the WorldView protocol)."""
+        generated = self._generated(class_name)
+        merged: dict[str, Any] | None = None
+        for table_name in generated.state_table_names():
+            row = self.catalog.table(table_name).get_by_key(object_id)
+            if row is None:
+                return None
+            if merged is None:
+                merged = dict(row)
+            else:
+                merged.update(row)
+        return merged
+
+    def objects(self, class_name: str) -> list[dict[str, Any]]:
+        """All state rows of a class (merged across vertical partitions)."""
+        generated = self._generated(class_name)
+        names = generated.state_table_names()
+        primary = self.catalog.table(names[0])
+        rows = [dict(row) for row in primary.rows()]
+        for table_name in names[1:]:
+            table = self.catalog.table(table_name)
+            for row in rows:
+                extra = table.get_by_key(row[KEY_COLUMN])
+                if extra is not None:
+                    row.update(extra)
+        return rows
+
+    def extent(self, class_name: str) -> Iterable[Mapping[str, Any]]:
+        """Alias of :meth:`objects` (the interpreter's WorldView protocol)."""
+        return self.objects(class_name)
+
+    def set_state(self, class_name: str, object_id: Any, **changes: Any) -> None:
+        """Directly set state attributes (tooling/tests; not script-visible)."""
+        self._apply_updates(
+            [StateUpdate(class_name, object_id, attr, value) for attr, value in changes.items()]
+        )
+
+    def _generated(self, class_name: str) -> GeneratedSchema:
+        try:
+            return self.schemas[class_name]
+        except KeyError:
+            raise ExecutionError(f"unknown class {class_name!r}") from None
+
+    # ------------------------------------------------------------------------------------------
+    # configuration: scripts, components, rules, handlers
+    # ------------------------------------------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        """The compiled form of every script (compiled lazily on first use)."""
+        if self._compiled is None:
+            self._compiled = self.compiler.compile_program()
+        return self._compiled
+
+    def enabled_scripts(self) -> list[str]:
+        return list(self._enabled_scripts)
+
+    def enable_script(self, name: str) -> None:
+        if name not in self._enabled_scripts:
+            self._enabled_scripts.append(name)
+
+    def disable_script(self, name: str) -> None:
+        if name in self._enabled_scripts:
+            self._enabled_scripts.remove(name)
+
+    def add_component(self, component: UpdateComponent) -> None:
+        """Register an update component (physics, pathfinding, transactions …)."""
+        if isinstance(component, TransactionEngine):
+            component.set_constraint_evaluator(self._evaluate_constraint)
+            self._transaction_engine = component
+        self.updates.register(component)
+
+    def add_update_rule(
+        self,
+        class_name: str,
+        attribute: str,
+        compute: Callable[[Mapping[str, Any], Mapping[str, Any]], Any] | None = None,
+        expression: Expression | None = None,
+    ) -> None:
+        """Add a ``state = f(state, effects)`` update rule (Section 2.2)."""
+        self.expression_updater.add_rule(UpdateRule(class_name, attribute, compute, expression))
+        if not self._expression_updater_registered:
+            self.updates.register(self.expression_updater)
+            self._expression_updater_registered = True
+        else:
+            # Re-validate ownership for the newly added rule.
+            owner = self.updates.owner_of(class_name, attribute)
+            if owner is not None and owner is not self.expression_updater:
+                raise ExecutionError(
+                    f"{class_name}.{attribute} is already owned by {owner.name!r}"
+                )
+            self.updates._owner[(class_name, attribute)] = self.expression_updater
+
+    def add_handler(self, handler: Handler) -> None:
+        """Register a reactive handler (Section 3.2)."""
+        self.reactive.register(handler)
+
+    # ------------------------------------------------------------------------------------------
+    # the tick loop
+    # ------------------------------------------------------------------------------------------
+
+    def run(self, ticks: int) -> list[TickReport]:
+        return [self.tick() for _ in range(ticks)]
+
+    def tick(self) -> TickReport:
+        report = TickReport(tick=self.tick_count)
+        store = EffectStore({decl.name: decl for decl in self.program.classes})
+        transactions: list[TransactionRequest] = []
+
+        # Effects queued by reactive handlers at the end of the previous tick.
+        store.add_all(self.reactive.drain_effects())
+
+        # -- query + effect step (state read-only) -------------------------------------------
+        started = time.perf_counter()
+        self._freeze(True)
+        try:
+            if self.mode is ExecutionMode.COMPILED:
+                self._run_compiled(store, transactions)
+            else:
+                self._run_interpreted(store, transactions)
+        finally:
+            self._freeze(False)
+        report.effect_step_seconds = time.perf_counter() - started
+        report.effect_assignments = len(store)
+        report.transactions_submitted = len(transactions)
+
+        # -- update step -----------------------------------------------------------------------
+        started = time.perf_counter()
+        combined = store.combine()
+        self.last_effects = combined
+        if transactions:
+            if self._transaction_engine is not None:
+                self._transaction_engine.submit(transactions)
+            else:
+                # Without a transaction engine atomic blocks degrade to plain
+                # effect assignments (documented behaviour).
+                for request in transactions:
+                    store.add_all(request.assignments)
+                combined = store.combine()
+                self.last_effects = combined
+        updates = self.updates.compute_all(self, combined)
+        self._apply_updates(updates)
+        report.state_updates_applied = len(updates)
+        if self._transaction_engine is not None:
+            self.last_transaction_report = self._transaction_engine.last_report
+            report.transactions_committed = self.last_transaction_report.commit_count
+            report.transactions_aborted = self.last_transaction_report.abort_count
+        report.update_step_seconds = time.perf_counter() - started
+
+        # -- reactive dispatch over the post-update state ---------------------------------------
+        started = time.perf_counter()
+        self.reactive.clear_fired()
+        fired: list[FiredHandler] = []
+        for class_name in self.class_names():
+            if not self.reactive.handlers_for(class_name):
+                continue
+            fired.extend(
+                self.reactive.dispatch(
+                    class_name,
+                    self.objects(class_name),
+                    self._evaluate_condition,
+                    self.scheduler.reset,
+                )
+            )
+        report.handlers_fired = len(fired)
+        report.reactive_seconds = time.perf_counter() - started
+
+        self.tick_count += 1
+        self.reports.append(report)
+        return report
+
+    # -- effect-step strategies ---------------------------------------------------------------------
+
+    def _run_compiled(
+        self, store: EffectStore, transactions: list[TransactionRequest]
+    ) -> None:
+        pending: dict[tuple[str, int, Any], list[EffectAssignment]] = {}
+        pending_constraints: dict[tuple[str, int, Any], tuple[SglExpression, ...]] = {}
+        pending_class: dict[tuple[str, int, Any], str] = {}
+        for script_name in self._enabled_scripts:
+            compiled = self.compiled.script(script_name)
+            for segment_index in sorted(compiled.queries_by_segment):
+                for query in compiled.queries_by_segment[segment_index]:
+                    result = self.executor.execute(query.plan)
+                    for row in result.rows:
+                        assignment = EffectAssignment(
+                            class_name=query.target_class,
+                            target_id=row[TARGET_COLUMN],
+                            effect=query.effect,
+                            value=row[VALUE_COLUMN],
+                            set_insert=query.set_insert,
+                        )
+                        if query.transactional:
+                            key = (query.script_name, query.block_index, row[ACTOR_COLUMN])
+                            pending.setdefault(key, []).append(assignment)
+                            pending_constraints[key] = query.constraints
+                            pending_class[key] = query.class_name
+                        else:
+                            store.add(assignment)
+        for key, assignments in pending.items():
+            script_name, block_index, actor_id = key
+            transactions.append(
+                TransactionRequest(
+                    actor_class=pending_class[key],
+                    actor_id=actor_id,
+                    assignments=tuple(assignments),
+                    constraints=pending_constraints[key],
+                    script_name=script_name,
+                    block_index=block_index,
+                )
+            )
+
+    def _run_interpreted(
+        self, store: EffectStore, transactions: list[TransactionRequest]
+    ) -> None:
+        pc_updates: list[StateUpdate] = []
+        for script_name in self._enabled_scripts:
+            script = self.program.script_named(script_name)
+            assert script is not None
+            segmented = self._segmented[script_name]
+            pc_attr = segmented.pc_variable
+            for row in self.objects(script.class_name):
+                pc = int(row.get(pc_attr, 0) or 0) if segmented.is_multi_tick else 0
+                result, _ = self.interpreter.run_script(script_name, row, self, pc)
+                store.add_all(result.effects)
+                transactions.extend(result.transactions)
+        # Program counters advance in the scheduler update component, which
+        # runs for both execution modes.
+        del pc_updates
+
+    # -- update application ------------------------------------------------------------------------------
+
+    def _apply_updates(self, updates: Sequence[StateUpdate]) -> None:
+        for update in updates:
+            generated = self._generated(update.class_name)
+            table_name = self._table_for_attribute(generated, update.attribute)
+            table = self.catalog.table(table_name)
+            table.update_by_key(update.object_id, {update.attribute: update.value})
+
+    def _table_for_attribute(self, generated: GeneratedSchema, attribute: str) -> str:
+        for table_name, schema in generated.state_tables.items():
+            if attribute in schema:
+                return table_name
+        raise ExecutionError(
+            f"class {generated.class_name!r} has no state attribute {attribute!r}"
+        )
+
+    def _freeze(self, frozen: bool) -> None:
+        for generated in self.schemas.values():
+            for table_name in generated.state_table_names():
+                table = self.catalog.table(table_name)
+                if frozen:
+                    table.freeze()
+                else:
+                    table.thaw()
+
+    # -- expression evaluation services --------------------------------------------------------------------
+
+    def _evaluate_constraint(
+        self, constraint: SglExpression, class_name: str, row: Mapping[str, Any]
+    ) -> bool:
+        value = self.interpreter.evaluate_expression(constraint, class_name, row, self)
+        return bool(value)
+
+    def _evaluate_condition(
+        self, condition: Any, class_name: str, row: Mapping[str, Any]
+    ) -> bool:
+        if callable(condition):
+            return bool(condition(row))
+        return bool(self.interpreter.evaluate_expression(condition, class_name, row, self))
+
+    # -- snapshots (used by the debugger's checkpoints) ------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """A restorable snapshot of all state tables plus counters."""
+        tables = {}
+        for generated in self.schemas.values():
+            for table_name in generated.state_table_names():
+                tables[table_name] = self.catalog.table(table_name).snapshot()
+        return {
+            "tick": self.tick_count,
+            "tables": tables,
+            "next_ids": dict(self._next_ids),
+        }
+
+    def restore(self, snapshot: Mapping[str, Any]) -> None:
+        """Restore a snapshot taken by :meth:`snapshot`."""
+        for table_name, table_snapshot in snapshot["tables"].items():
+            self.catalog.table(table_name).restore(table_snapshot)
+        self.tick_count = snapshot["tick"]
+        self._next_ids = dict(snapshot["next_ids"])

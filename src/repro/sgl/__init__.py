@@ -1,0 +1,47 @@
+"""The SGL language: lexer, parser, semantic analysis, schema generation,
+compiler to relational algebra, per-object interpreter, and multi-tick
+segmentation."""
+
+from repro.sgl.ast_nodes import Program
+from repro.sgl.compiler import CompiledProgram, CompiledScript, SGLCompiler
+from repro.sgl.errors import (
+    SGLCompileError,
+    SGLError,
+    SGLRuntimeError,
+    SGLSemanticError,
+    SGLSyntaxError,
+)
+from repro.sgl.interpreter import InterpretationResult, ScriptInterpreter, WorldView
+from repro.sgl.ir import EffectAssignment, EffectQuery, TransactionRequest
+from repro.sgl.multitick import SegmentedScript, pc_variable_name, segment_script
+from repro.sgl.parser import parse_expression, parse_program
+from repro.sgl.schema_gen import GeneratedSchema, SchemaGenerator, SchemaLayout
+from repro.sgl.semantics import AnalyzedProgram, analyze_program
+
+__all__ = [
+    "Program",
+    "CompiledProgram",
+    "CompiledScript",
+    "SGLCompiler",
+    "SGLCompileError",
+    "SGLError",
+    "SGLRuntimeError",
+    "SGLSemanticError",
+    "SGLSyntaxError",
+    "InterpretationResult",
+    "ScriptInterpreter",
+    "WorldView",
+    "EffectAssignment",
+    "EffectQuery",
+    "TransactionRequest",
+    "SegmentedScript",
+    "pc_variable_name",
+    "segment_script",
+    "parse_expression",
+    "parse_program",
+    "GeneratedSchema",
+    "SchemaGenerator",
+    "SchemaLayout",
+    "AnalyzedProgram",
+    "analyze_program",
+]

@@ -1,0 +1,13 @@
+"""The SGL-to-relational-algebra compiler."""
+
+from repro.sgl.compiler.expr_lower import LoweringContext, ObjectBinding, lower_expression
+from repro.sgl.compiler.script_compiler import CompiledProgram, CompiledScript, SGLCompiler
+
+__all__ = [
+    "LoweringContext",
+    "ObjectBinding",
+    "lower_expression",
+    "CompiledProgram",
+    "CompiledScript",
+    "SGLCompiler",
+]

@@ -1,0 +1,217 @@
+"""Lowering SGL expressions to engine expressions.
+
+The compiler rewrites script expressions — written against a single acting
+object — into relational expressions over the columns of the compiled
+plan's row, using a :class:`LoweringContext` that records what each name
+means at the current program point:
+
+* fields of ``self`` become ``<self alias>.<field>`` column references,
+* loop variables of enclosing accum-loops become ``<loop alias>.<field>``,
+* script locals are substituted inline (they were lowered when declared),
+* readable accum variables become references to the aggregate output column
+  joined back into the plan,
+* reads through a reference field of ``self`` (``self.target.x``) become
+  columns of a dereference join added by the script compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Conditional,
+    Expression,
+    FunctionCall,
+    Literal,
+    SetLiteral,
+    UnaryOp,
+)
+from repro.sgl.ast_nodes import (
+    Binary,
+    BoolLiteral,
+    Call,
+    ClassDecl,
+    FieldAccess,
+    Identifier,
+    NullLiteral,
+    NumberLiteral,
+    Program,
+    SetConstructor,
+    SglExpression,
+    StringLiteral,
+    Unary,
+)
+from repro.sgl.errors import SGLCompileError
+
+__all__ = ["ObjectBinding", "LoweringContext", "lower_expression"]
+
+
+@dataclass(frozen=True)
+class ObjectBinding:
+    """An object-valued name bound to a plan alias (self, loop variables)."""
+
+    class_name: str
+    alias: str
+
+    def column(self, field_name: str) -> ColumnRef:
+        return ColumnRef(f"{self.alias}.{field_name}")
+
+    def key_column(self) -> ColumnRef:
+        return self.column("id")
+
+
+@dataclass
+class LoweringContext:
+    """Everything name resolution needs at one point of the compilation."""
+
+    program: Program
+    class_decl: ClassDecl
+    self_name: str
+    #: Object variables in scope: name -> binding.
+    objects: dict[str, ObjectBinding] = field(default_factory=dict)
+    #: Script locals already lowered: name -> engine expression.
+    locals: dict[str, Expression] = field(default_factory=dict)
+    #: Readable accum variables: name -> engine expression (coalesced column).
+    accums: dict[str, Expression] = field(default_factory=dict)
+    #: Reference fields of self that have a dereference join: field -> binding.
+    ref_joins: dict[str, ObjectBinding] = field(default_factory=dict)
+
+    def child(self) -> "LoweringContext":
+        return LoweringContext(
+            program=self.program,
+            class_decl=self.class_decl,
+            self_name=self.self_name,
+            objects=dict(self.objects),
+            locals=dict(self.locals),
+            accums=dict(self.accums),
+            ref_joins=dict(self.ref_joins),
+        )
+
+    @property
+    def self_binding(self) -> ObjectBinding:
+        return self.objects[self.self_name]
+
+
+def lower_expression(expr: SglExpression, context: LoweringContext) -> Expression:
+    """Lower one SGL expression to an engine expression."""
+    if isinstance(expr, NumberLiteral):
+        return Literal(expr.value)
+    if isinstance(expr, BoolLiteral):
+        return Literal(expr.value)
+    if isinstance(expr, StringLiteral):
+        return Literal(expr.value)
+    if isinstance(expr, NullLiteral):
+        return Literal(None)
+    if isinstance(expr, Identifier):
+        return _lower_identifier(expr, context)
+    if isinstance(expr, FieldAccess):
+        return _lower_field_access(expr, context)
+    if isinstance(expr, Binary):
+        left = lower_expression(expr.left, context)
+        right = lower_expression(expr.right, context)
+        return BinaryOp(expr.op, left, right)
+    if isinstance(expr, Unary):
+        operand = lower_expression(expr.operand, context)
+        return UnaryOp(expr.op, operand)
+    if isinstance(expr, Call):
+        args = [lower_expression(a, context) for a in expr.args]
+        try:
+            return FunctionCall(expr.name, args)
+        except Exception as exc:  # unknown function
+            raise SGLCompileError(f"cannot compile call to {expr.name!r}", expr.line) from exc
+    if isinstance(expr, SetConstructor):
+        return SetLiteral([lower_expression(e, context) for e in expr.elements])
+    raise SGLCompileError(f"cannot compile expression {type(expr).__name__}", expr.line)
+
+
+def _lower_identifier(expr: Identifier, context: LoweringContext) -> Expression:
+    name = expr.name
+    if name in context.objects:
+        return context.objects[name].key_column()
+    if name in context.locals:
+        return context.locals[name]
+    if name in context.accums:
+        return context.accums[name]
+    state = context.class_decl.state_field(name)
+    if state is not None:
+        return context.self_binding.column(name)
+    if context.class_decl.effect_field(name) is not None:
+        raise SGLCompileError(
+            f"effect variable {name!r} cannot be read during a tick", expr.line
+        )
+    raise SGLCompileError(f"unknown identifier {name!r}", expr.line)
+
+
+def _lower_field_access(expr: FieldAccess, context: LoweringContext) -> Expression:
+    target = expr.target
+    # <object var>.<field>
+    if isinstance(target, Identifier) and target.name in context.objects:
+        binding = context.objects[target.name]
+        owner = context.program.class_named(binding.class_name)
+        if owner is not None and owner.effect_field(expr.field_name) is not None:
+            raise SGLCompileError(
+                f"effect variable {binding.class_name}.{expr.field_name!r} cannot be read",
+                expr.line,
+            )
+        return binding.column(expr.field_name)
+    # self.<ref field>.<field> or <ref field>.<field>: go through the deref join.
+    ref_field = _ref_field_name(target, context)
+    if ref_field is not None:
+        binding = context.ref_joins.get(ref_field)
+        if binding is None:
+            raise SGLCompileError(
+                f"reading through reference field {ref_field!r} requires a dereference join "
+                "that was not planned (nested references are not supported by the compiler)",
+                expr.line,
+            )
+        return binding.column(expr.field_name)
+    raise SGLCompileError(
+        f"cannot compile field access {expr.field_name!r} on {target!r}", expr.line
+    )
+
+
+def _ref_field_name(target: SglExpression, context: LoweringContext) -> str | None:
+    """If *target* denotes a ref-typed state field of self, return its name."""
+    if isinstance(target, Identifier):
+        state = context.class_decl.state_field(target.name)
+        if state is not None and state.type_name == "ref":
+            return target.name
+        return None
+    if isinstance(target, FieldAccess) and isinstance(target.target, Identifier):
+        if target.target.name == context.self_name:
+            state = context.class_decl.state_field(target.field_name)
+            if state is not None and state.type_name == "ref":
+                return target.field_name
+    return None
+
+
+def collect_ref_reads(expr_or_node, context: LoweringContext, out: set[str]) -> None:
+    """Collect names of ref fields of self that are read through in *expr_or_node*.
+
+    Used by the script compiler as a prepass so it can add the dereference
+    joins before lowering.  Accepts any AST node with child expressions.
+    """
+    if isinstance(expr_or_node, FieldAccess):
+        ref_field = _ref_field_name(expr_or_node.target, context)
+        if ref_field is not None:
+            out.add(ref_field)
+        collect_ref_reads(expr_or_node.target, context, out)
+        return
+    for attr in ("left", "right", "operand", "condition", "value", "target", "extent"):
+        child = getattr(expr_or_node, attr, None)
+        if isinstance(child, SglExpression):
+            collect_ref_reads(child, context, out)
+    for attr in ("args", "elements", "constraints"):
+        children = getattr(expr_or_node, attr, None)
+        if children:
+            for child in children:
+                if isinstance(child, SglExpression):
+                    collect_ref_reads(child, context, out)
+
+
+def coalesce(expression: Expression, default: object) -> Expression:
+    """``expression`` if it is not null, else ``default`` (engine-level)."""
+    return Conditional(BinaryOp("==", expression, Literal(None)), Literal(default), expression)

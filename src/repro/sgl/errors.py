@@ -1,0 +1,35 @@
+"""Errors raised by the SGL language front end and compiler."""
+
+from __future__ import annotations
+
+__all__ = ["SGLError", "SGLSyntaxError", "SGLSemanticError", "SGLCompileError", "SGLRuntimeError"]
+
+
+class SGLError(Exception):
+    """Base class for all SGL language errors."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.message = message
+        self.line = line
+        self.column = column
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", col {column})" if column is not None else ")")
+        super().__init__(message + location)
+
+
+class SGLSyntaxError(SGLError):
+    """The source text could not be tokenized or parsed."""
+
+
+class SGLSemanticError(SGLError):
+    """The program violates SGL's static rules (state read-only, effect
+    write-only, accum-loop restrictions, waitNextTick placement, …)."""
+
+
+class SGLCompileError(SGLError):
+    """The compiler could not lower a construct to relational algebra."""
+
+
+class SGLRuntimeError(SGLError):
+    """A script failed while being interpreted or executed."""

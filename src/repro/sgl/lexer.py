@@ -1,0 +1,198 @@
+"""Tokenizer for the SGL scripting language.
+
+The surface syntax follows the fragments in the paper: C-style class
+declarations with ``state:`` and ``effects:`` sections (Figure 1),
+imperative scripts with ``<-`` effect assignment and ``<=`` set-effect
+insertion, ``accum`` loops (Figure 2), ``waitNextTick`` and ``atomic``
+blocks.  Comments are ``//`` to end of line and ``/* ... */``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.sgl.errors import SGLSyntaxError
+
+__all__ = ["Token", "tokenize", "KEYWORDS"]
+
+#: Reserved words of the language.
+KEYWORDS = frozenset(
+    {
+        "class",
+        "state",
+        "effects",
+        "script",
+        "number",
+        "bool",
+        "string",
+        "ref",
+        "set",
+        "if",
+        "else",
+        "let",
+        "accum",
+        "with",
+        "over",
+        "from",
+        "in",
+        "waitNextTick",
+        "atomic",
+        "require",
+        "true",
+        "false",
+        "null",
+        "and",
+        "or",
+        "not",
+    }
+)
+
+#: Multi-character operators, longest first so the scanner is greedy.
+_OPERATORS = [
+    "<-",
+    "<=",
+    ">=",
+    "==",
+    "!=",
+    "&&",
+    "||",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "!",
+    "=",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ":",
+    ",",
+    ".",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token: kind, text, and source position (1-based)."""
+
+    kind: str  # 'keyword' | 'ident' | 'number' | 'string' | 'op' | 'eof'
+    text: str
+    line: int
+    column: int
+
+    def is_op(self, *texts: str) -> bool:
+        return self.kind == "op" and self.text in texts
+
+    def is_keyword(self, *texts: str) -> bool:
+        return self.kind == "keyword" and self.text in texts
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r}, {self.line}:{self.column})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize *source*, returning a list ending with an ``eof`` token."""
+    return list(_scan(source))
+
+
+def _scan(source: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        # Whitespace.
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            column = 1
+            continue
+        # Comments.
+        if source.startswith("//", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if source.startswith("/*", i):
+            end = source.find("*/", i + 2)
+            if end == -1:
+                raise SGLSyntaxError("unterminated block comment", line, column)
+            skipped = source[i : end + 2]
+            newlines = skipped.count("\n")
+            if newlines:
+                line += newlines
+                column = len(skipped) - skipped.rfind("\n")
+            else:
+                column += len(skipped)
+            i = end + 2
+            continue
+        # String literals.
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and source[j] != '"':
+                if source[j] == "\n":
+                    raise SGLSyntaxError("unterminated string literal", line, column)
+                if source[j] == "\\" and j + 1 < n:
+                    buf.append(source[j + 1])
+                    j += 2
+                    continue
+                buf.append(source[j])
+                j += 1
+            if j >= n:
+                raise SGLSyntaxError("unterminated string literal", line, column)
+            text = "".join(buf)
+            yield Token("string", text, line, column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        # Numbers.
+        if ch.isdigit() or (ch == "." and i + 1 < n and source[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A trailing '.' followed by a non-digit belongs to field access.
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            yield Token("number", source[i:j], line, column)
+            column += j - i
+            i = j
+            continue
+        # Identifiers / keywords.
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            yield Token(kind, text, line, column)
+            column += j - i
+            i = j
+            continue
+        # Operators and punctuation.
+        matched = None
+        for op in _OPERATORS:
+            if source.startswith(op, i):
+                matched = op
+                break
+        if matched is None:
+            raise SGLSyntaxError(f"unexpected character {ch!r}", line, column)
+        yield Token("op", matched, line, column)
+        column += len(matched)
+        i += len(matched)
+    yield Token("eof", "", line, column)

@@ -1,0 +1,471 @@
+"""Recursive-descent parser for SGL.
+
+Grammar (informal):
+
+    program      := (class_decl | script_decl)*
+    class_decl   := 'class' IDENT '{' 'state' ':' state_field* 'effects' ':' effect_field* '}'
+    state_field  := type IDENT ('=' expression)? ';'
+    effect_field := type IDENT ':' IDENT ';'
+    type         := 'number' | 'bool' | 'string' | 'ref' ('<' IDENT '>')? | 'set'
+    script_decl  := 'script' IDENT '(' IDENT IDENT ')' block
+    block        := '{' statement* '}'
+    statement    := let | local_assign | effect_assign | set_insert | if
+                  | accum | waitNextTick | atomic
+    let          := 'let' IDENT '=' expression ';'
+    effect_assign:= lvalue '<-' expression ';'
+    set_insert   := lvalue '<=' expression ';'
+    if           := 'if' '(' expression ')' block ('else' (block | if))?
+    accum        := 'accum' type IDENT 'with' IDENT 'over' type IDENT 'from'
+                    expression block 'in' block
+    atomic       := 'atomic' ('require' '(' expression (',' expression)* ')')? block
+    expression   := or-expression with C-like precedence
+
+Note ``<=`` is *both* the less-or-equal operator and the set-insert
+statement; the parser disambiguates by context (statement position with an
+lvalue on the left), matching the paper's usage ``itemsAcquired <= i;``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.sgl.ast_nodes import (
+    AccumLoop,
+    AtomicBlock,
+    Binary,
+    Block,
+    BoolLiteral,
+    Call,
+    ClassDecl,
+    EffectAssign,
+    EffectFieldDecl,
+    FieldAccess,
+    Identifier,
+    IfStatement,
+    LetStatement,
+    LocalAssign,
+    NullLiteral,
+    NumberLiteral,
+    Program,
+    ScriptDecl,
+    SetConstructor,
+    SetInsert,
+    SglExpression,
+    StateFieldDecl,
+    Statement,
+    StringLiteral,
+    Unary,
+    WaitNextTick,
+)
+from repro.sgl.errors import SGLSyntaxError
+from repro.sgl.lexer import Token, tokenize
+
+__all__ = ["parse_program", "parse_expression", "Parser"]
+
+_TYPE_KEYWORDS = ("number", "bool", "string", "ref", "set")
+
+
+def parse_program(source: str) -> Program:
+    """Parse SGL source text into a :class:`Program`."""
+    return Parser(tokenize(source)).parse_program()
+
+
+def parse_expression(source: str) -> SglExpression:
+    """Parse a single SGL expression (useful in tests and the debugger)."""
+    parser = Parser(tokenize(source))
+    expr = parser._expression()
+    parser._expect_eof()
+    return expr
+
+
+class Parser:
+    """A hand-written recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: Sequence[Token]):
+        self._tokens = list(tokens)
+        self._pos = 0
+
+    # -- token utilities -----------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.kind != "eof":
+            self._pos += 1
+        return token
+
+    def _check_op(self, *texts: str) -> bool:
+        return self._current.is_op(*texts)
+
+    def _check_keyword(self, *texts: str) -> bool:
+        return self._current.is_keyword(*texts)
+
+    def _match_op(self, *texts: str) -> Token | None:
+        if self._check_op(*texts):
+            return self._advance()
+        return None
+
+    def _match_keyword(self, *texts: str) -> Token | None:
+        if self._check_keyword(*texts):
+            return self._advance()
+        return None
+
+    def _expect_op(self, text: str) -> Token:
+        if not self._check_op(text):
+            raise SGLSyntaxError(
+                f"expected {text!r}, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_keyword(self, text: str) -> Token:
+        if not self._check_keyword(text):
+            raise SGLSyntaxError(
+                f"expected keyword {text!r}, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_ident(self) -> Token:
+        if self._current.kind != "ident":
+            raise SGLSyntaxError(
+                f"expected identifier, found {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+        return self._advance()
+
+    def _expect_eof(self) -> None:
+        if self._current.kind != "eof":
+            raise SGLSyntaxError(
+                f"unexpected trailing input {self._current.text!r}",
+                self._current.line,
+                self._current.column,
+            )
+
+    # -- program structure ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        classes: list[ClassDecl] = []
+        scripts: list[ScriptDecl] = []
+        while self._current.kind != "eof":
+            if self._check_keyword("class"):
+                classes.append(self._class_decl())
+            elif self._check_keyword("script"):
+                scripts.append(self._script_decl())
+            else:
+                raise SGLSyntaxError(
+                    f"expected 'class' or 'script', found {self._current.text!r}",
+                    self._current.line,
+                    self._current.column,
+                )
+        return Program(tuple(classes), tuple(scripts))
+
+    def _class_decl(self) -> ClassDecl:
+        start = self._expect_keyword("class")
+        name = self._expect_ident().text
+        self._expect_op("{")
+        state_fields: list[StateFieldDecl] = []
+        effect_fields: list[EffectFieldDecl] = []
+        while not self._check_op("}"):
+            if self._match_keyword("state"):
+                self._expect_op(":")
+                while self._current.is_keyword(*_TYPE_KEYWORDS):
+                    state_fields.append(self._state_field())
+            elif self._match_keyword("effects"):
+                self._expect_op(":")
+                while self._current.is_keyword(*_TYPE_KEYWORDS):
+                    effect_fields.append(self._effect_field())
+            else:
+                raise SGLSyntaxError(
+                    f"expected 'state:' or 'effects:' section, found {self._current.text!r}",
+                    self._current.line,
+                    self._current.column,
+                )
+        self._expect_op("}")
+        return ClassDecl(name, tuple(state_fields), tuple(effect_fields), line=start.line)
+
+    def _type_name(self) -> tuple[str, str | None]:
+        token = self._advance()
+        if not token.is_keyword(*_TYPE_KEYWORDS):
+            raise SGLSyntaxError(f"expected a type, found {token.text!r}", token.line, token.column)
+        ref_class = None
+        if token.text == "ref" and self._match_op("<"):
+            ref_class = self._expect_ident().text
+            self._expect_op(">")
+        return token.text, ref_class
+
+    def _state_field(self) -> StateFieldDecl:
+        line = self._current.line
+        type_name, ref_class = self._type_name()
+        name = self._expect_ident().text
+        default = None
+        if self._match_op("="):
+            default = self._expression()
+        self._expect_op(";")
+        return StateFieldDecl(name, type_name, default, ref_class, line=line)
+
+    def _effect_field(self) -> EffectFieldDecl:
+        line = self._current.line
+        type_name, _ = self._type_name()
+        name = self._expect_ident().text
+        self._expect_op(":")
+        combinator = self._expect_ident().text
+        self._expect_op(";")
+        return EffectFieldDecl(name, type_name, combinator, line=line)
+
+    def _script_decl(self) -> ScriptDecl:
+        start = self._expect_keyword("script")
+        name = self._expect_ident().text
+        self._expect_op("(")
+        class_name = self._expect_ident().text
+        self_name = self._expect_ident().text
+        self._expect_op(")")
+        body = self._block()
+        return ScriptDecl(name, class_name, self_name, body, line=start.line)
+
+    # -- statements -----------------------------------------------------------------------
+
+    def _block(self) -> Block:
+        self._expect_op("{")
+        statements: list[Statement] = []
+        while not self._check_op("}"):
+            statements.append(self._statement())
+        self._expect_op("}")
+        return Block(tuple(statements))
+
+    def _statement(self) -> Statement:
+        token = self._current
+        if token.is_keyword("let"):
+            return self._let_statement()
+        if token.is_keyword("if"):
+            return self._if_statement()
+        if token.is_keyword("accum"):
+            return self._accum_loop()
+        if token.is_keyword("waitNextTick"):
+            self._advance()
+            self._expect_op(";")
+            return WaitNextTick(line=token.line)
+        if token.is_keyword("atomic"):
+            return self._atomic_block()
+        return self._assignment_statement()
+
+    def _let_statement(self) -> LetStatement:
+        start = self._expect_keyword("let")
+        name = self._expect_ident().text
+        self._expect_op("=")
+        value = self._expression()
+        self._expect_op(";")
+        return LetStatement(name, value, line=start.line)
+
+    def _if_statement(self) -> IfStatement:
+        start = self._expect_keyword("if")
+        self._expect_op("(")
+        condition = self._expression()
+        self._expect_op(")")
+        then_block = self._block()
+        else_block = None
+        if self._match_keyword("else"):
+            if self._check_keyword("if"):
+                nested = self._if_statement()
+                else_block = Block((nested,))
+            else:
+                else_block = self._block()
+        return IfStatement(condition, then_block, else_block, line=start.line)
+
+    def _accum_loop(self) -> AccumLoop:
+        start = self._expect_keyword("accum")
+        accum_type, _ = self._type_name()
+        accum_var = self._expect_ident().text
+        self._expect_keyword("with")
+        combinator = self._expect_ident().text
+        self._expect_keyword("over")
+        loop_type, _ = self._type_name() if self._current.is_keyword(*_TYPE_KEYWORDS) else (self._expect_ident().text, None)
+        loop_var = self._expect_ident().text
+        self._expect_keyword("from")
+        extent = self._expression()
+        body = self._block()
+        self._expect_keyword("in")
+        follow = self._block()
+        return AccumLoop(
+            accum_type,
+            accum_var,
+            combinator,
+            loop_type,
+            loop_var,
+            extent,
+            body,
+            follow,
+            line=start.line,
+        )
+
+    def _atomic_block(self) -> AtomicBlock:
+        start = self._expect_keyword("atomic")
+        constraints: list[SglExpression] = []
+        if self._match_keyword("require"):
+            self._expect_op("(")
+            constraints.append(self._expression())
+            while self._match_op(","):
+                constraints.append(self._expression())
+            self._expect_op(")")
+        body = self._block()
+        return AtomicBlock(tuple(constraints), body, line=start.line)
+
+    def _assignment_statement(self) -> Statement:
+        line = self._current.line
+        target = self._postfix_expression()
+        if self._match_op("<-"):
+            value = self._expression()
+            self._expect_op(";")
+            return EffectAssign(target, value, line=line)
+        if self._match_op("<="):
+            value = self._expression()
+            self._expect_op(";")
+            return SetInsert(target, value, line=line)
+        if self._match_op("="):
+            if not isinstance(target, Identifier):
+                raise SGLSyntaxError(
+                    "only script-local variables can be re-assigned with '='; "
+                    "state is read-only and effects use '<-'",
+                    line,
+                )
+            value = self._expression()
+            self._expect_op(";")
+            return LocalAssign(target.name, value, line=line)
+        raise SGLSyntaxError(
+            f"expected '<-', '<=' or '=' after expression, found {self._current.text!r}",
+            self._current.line,
+            self._current.column,
+        )
+
+    # -- expressions --------------------------------------------------------------------------
+
+    def _expression(self) -> SglExpression:
+        return self._or_expression()
+
+    def _or_expression(self) -> SglExpression:
+        left = self._and_expression()
+        while True:
+            token = self._current
+            if token.is_op("||") or token.is_keyword("or"):
+                self._advance()
+                right = self._and_expression()
+                left = Binary("||", left, right, line=token.line)
+            else:
+                return left
+
+    def _and_expression(self) -> SglExpression:
+        left = self._equality_expression()
+        while True:
+            token = self._current
+            if token.is_op("&&") or token.is_keyword("and"):
+                self._advance()
+                right = self._equality_expression()
+                left = Binary("&&", left, right, line=token.line)
+            else:
+                return left
+
+    def _equality_expression(self) -> SglExpression:
+        left = self._relational_expression()
+        while self._check_op("==", "!="):
+            op = self._advance()
+            right = self._relational_expression()
+            left = Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _relational_expression(self) -> SglExpression:
+        left = self._additive_expression()
+        while self._check_op("<", "<=", ">", ">="):
+            op = self._advance()
+            right = self._additive_expression()
+            left = Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _additive_expression(self) -> SglExpression:
+        left = self._multiplicative_expression()
+        while self._check_op("+", "-"):
+            op = self._advance()
+            right = self._multiplicative_expression()
+            left = Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _multiplicative_expression(self) -> SglExpression:
+        left = self._unary_expression()
+        while self._check_op("*", "/", "%"):
+            op = self._advance()
+            right = self._unary_expression()
+            left = Binary(op.text, left, right, line=op.line)
+        return left
+
+    def _unary_expression(self) -> SglExpression:
+        token = self._current
+        if token.is_op("-"):
+            self._advance()
+            return Unary("-", self._unary_expression(), line=token.line)
+        if token.is_op("!") or token.is_keyword("not"):
+            self._advance()
+            return Unary("!", self._unary_expression(), line=token.line)
+        return self._postfix_expression()
+
+    def _postfix_expression(self) -> SglExpression:
+        expr = self._primary_expression()
+        while self._check_op("."):
+            dot = self._advance()
+            field_name = self._expect_ident().text
+            expr = FieldAccess(expr, field_name, line=dot.line)
+        return expr
+
+    def _primary_expression(self) -> SglExpression:
+        token = self._current
+        if token.kind == "number":
+            self._advance()
+            value = float(token.text)
+            if value.is_integer() and "." not in token.text:
+                return NumberLiteral(int(value), line=token.line)
+            return NumberLiteral(value, line=token.line)
+        if token.kind == "string":
+            self._advance()
+            return StringLiteral(token.text, line=token.line)
+        if token.is_keyword("true"):
+            self._advance()
+            return BoolLiteral(True, line=token.line)
+        if token.is_keyword("false"):
+            self._advance()
+            return BoolLiteral(False, line=token.line)
+        if token.is_keyword("null"):
+            self._advance()
+            return NullLiteral(line=token.line)
+        if token.is_op("("):
+            self._advance()
+            expr = self._expression()
+            self._expect_op(")")
+            return expr
+        if token.is_op("{"):
+            self._advance()
+            elements: list[SglExpression] = []
+            if not self._check_op("}"):
+                elements.append(self._expression())
+                while self._match_op(","):
+                    elements.append(self._expression())
+            self._expect_op("}")
+            return SetConstructor(tuple(elements), line=token.line)
+        if token.kind == "ident":
+            self._advance()
+            if self._check_op("("):
+                self._advance()
+                args: list[SglExpression] = []
+                if not self._check_op(")"):
+                    args.append(self._expression())
+                    while self._match_op(","):
+                        args.append(self._expression())
+                self._expect_op(")")
+                return Call(token.text, tuple(args), line=token.line)
+            return Identifier(token.text, line=token.line)
+        raise SGLSyntaxError(
+            f"unexpected token {token.text!r} in expression", token.line, token.column
+        )

@@ -1,0 +1,81 @@
+"""A workload that alternates between game states (Section 4.1).
+
+"A strategy game will look very different when characters are exploring
+than when they are fighting, but it is unlikely that the game will switch
+back-and-forth between the two very frequently."  This workload moves the
+same unit population between two spatial distributions:
+
+* ``exploring`` — units spread uniformly over the whole map, so a spatial
+  range self-join is very selective (small intermediate results),
+* ``fighting`` — units packed into a small battle area, so the same join
+  explodes (large intermediate results).
+
+Experiment E4 compiles one plan per state and shows that switching between
+them beats either plan run unconditionally.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, Schema
+from repro.engine.types import DataType
+
+__all__ = ["STATES", "unit_positions", "load_state", "make_state_catalog"]
+
+#: The two workload states and the fraction of the map they occupy.
+STATES: dict[str, float] = {"exploring": 1.0, "fighting": 0.12}
+
+
+def unit_positions(
+    n_units: int, state: str, world_size: float = 100.0, seed: int = 31
+) -> list[dict]:
+    """Unit rows positioned according to the named workload state."""
+    if state not in STATES:
+        raise ValueError(f"unknown workload state {state!r}; known: {sorted(STATES)}")
+    rng = random.Random(seed + hash(state) % 1000)
+    fraction = STATES[state]
+    extent = world_size * fraction
+    origin = (world_size - extent) / 2.0
+    rows = []
+    for i in range(n_units):
+        rows.append(
+            {
+                "id": i,
+                "player": i % 2,
+                "x": origin + rng.uniform(0.0, extent),
+                "y": origin + rng.uniform(0.0, extent),
+                "range": 8.0,
+                "strength": rng.uniform(1.0, 5.0),
+            }
+        )
+    return rows
+
+
+def make_state_catalog() -> Catalog:
+    """A catalog with an empty ``unit`` table matching :func:`unit_positions`."""
+    catalog = Catalog()
+    schema = Schema(
+        [
+            Column("id", DataType.NUMBER, nullable=False),
+            Column("player", DataType.NUMBER),
+            Column("x", DataType.NUMBER),
+            Column("y", DataType.NUMBER),
+            Column("range", DataType.NUMBER),
+            Column("strength", DataType.NUMBER),
+        ]
+    )
+    catalog.create_table("unit", schema, key="id")
+    return catalog
+
+
+def load_state(
+    catalog: Catalog, state: str, n_units: int, world_size: float = 100.0, seed: int = 31
+) -> None:
+    """Replace the ``unit`` table's contents with the named state's rows."""
+    table = catalog.table("unit")
+    table.clear()
+    table.insert_many(unit_positions(n_units, state, world_size, seed))
+    catalog.invalidate_statistics("unit")

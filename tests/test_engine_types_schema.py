@@ -1,0 +1,142 @@
+"""Unit tests for column types, coercion and schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Column, DataType, Ref, Schema
+from repro.engine.errors import SchemaError, TypeMismatchError
+from repro.engine.types import coerce_value, default_value, is_valid, type_of_value
+
+
+class TestDataTypes:
+    def test_default_values(self):
+        assert default_value(DataType.NUMBER) == 0
+        assert default_value(DataType.BOOL) is False
+        assert default_value(DataType.STRING) == ""
+        assert default_value(DataType.REF) is None
+        assert default_value(DataType.SET) == frozenset()
+
+    def test_is_valid_accepts_null_everywhere(self):
+        for dtype in DataType:
+            assert is_valid(dtype, None)
+
+    def test_is_valid_number(self):
+        assert is_valid(DataType.NUMBER, 3)
+        assert is_valid(DataType.NUMBER, 3.5)
+        assert not is_valid(DataType.NUMBER, True)
+        assert not is_valid(DataType.NUMBER, "3")
+
+    def test_is_valid_set_and_ref(self):
+        assert is_valid(DataType.SET, {1, 2})
+        assert is_valid(DataType.REF, Ref("Unit", 3))
+        assert is_valid(DataType.REF, 7)
+        assert not is_valid(DataType.REF, "Unit#3")
+
+    def test_coerce_number_rejects_bool_and_nan(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(DataType.NUMBER, True)
+        with pytest.raises(TypeMismatchError):
+            coerce_value(DataType.NUMBER, float("nan"))
+
+    def test_coerce_set_freezes(self):
+        out = coerce_value(DataType.SET, [1, 2, 2])
+        assert out == frozenset({1, 2})
+        assert isinstance(out, frozenset)
+
+    def test_coerce_string_rejects_number(self):
+        with pytest.raises(TypeMismatchError):
+            coerce_value(DataType.STRING, 3)
+
+    def test_type_of_value(self):
+        assert type_of_value(1) is DataType.NUMBER
+        assert type_of_value(True) is DataType.BOOL
+        assert type_of_value("x") is DataType.STRING
+        assert type_of_value(Ref("Unit", 1)) is DataType.REF
+        assert type_of_value(frozenset()) is DataType.SET
+
+    def test_ref_equality_and_hash(self):
+        assert Ref("Unit", 1) == Ref("Unit", 1)
+        assert Ref("Unit", 1) != Ref("Unit", 2)
+        assert Ref("Unit", 1) != Ref("Item", 1)
+        assert len({Ref("Unit", 1), Ref("Unit", 1)}) == 1
+
+
+class TestSchema:
+    def make(self) -> Schema:
+        return Schema(
+            [
+                Column("id", DataType.NUMBER, nullable=False),
+                Column("x", DataType.NUMBER),
+                Column("name", DataType.STRING),
+            ]
+        )
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Column("a"), Column("a")])
+
+    def test_lookup_and_contains(self):
+        schema = self.make()
+        assert "x" in schema
+        assert "missing" not in schema
+        assert schema.index_of("name") == 2
+        assert schema.column("id").nullable is False
+
+    def test_qualify_and_resolve_unqualified(self):
+        schema = self.make().qualify("u")
+        assert schema.names == ("u.id", "u.x", "u.name")
+        assert schema.resolve("x") == "u.x"
+        assert schema.column("x").name == "u.x"
+
+    def test_resolve_ambiguous_raises(self):
+        schema = self.make().qualify("a").concat(self.make().qualify("b"))
+        with pytest.raises(SchemaError):
+            schema.resolve("x")
+        assert schema.resolve("a.x") == "a.x"
+
+    def test_concat_collision_raises(self):
+        schema = self.make()
+        with pytest.raises(SchemaError):
+            schema.concat(schema)
+
+    def test_project_rename_drop_add(self):
+        schema = self.make()
+        assert schema.project(["x"]).names == ("x",)
+        assert schema.rename({"x": "pos_x"}).names == ("id", "pos_x", "name")
+        assert schema.drop(["name"]).names == ("id", "x")
+        assert schema.add(Column("extra")).names[-1] == "extra"
+
+    def test_new_row_defaults_and_validation(self):
+        schema = self.make()
+        row = schema.new_row({"id": 1})
+        assert row == {"id": 1, "x": 0, "name": ""}
+        with pytest.raises(SchemaError):
+            schema.new_row({"id": 1, "bogus": 2})
+        with pytest.raises(TypeMismatchError):
+            schema.new_row({"id": 1, "x": "not a number"})
+
+    def test_new_row_missing_non_nullable(self):
+        schema = Schema([Column("id", DataType.REF, nullable=False)])
+        with pytest.raises(SchemaError):
+            schema.new_row({})
+
+    def test_validate_row(self):
+        schema = self.make()
+        schema.validate_row({"id": 1, "x": 2.0, "name": "a"})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": 1, "x": 2.0})
+        with pytest.raises(SchemaError):
+            schema.validate_row({"id": None, "x": 2.0, "name": "a"})
+        with pytest.raises(TypeMismatchError):
+            schema.validate_row({"id": 1, "x": "bad", "name": "a"})
+
+    def test_equality_and_iteration(self):
+        assert self.make() == self.make()
+        assert [c.name for c in self.make()] == ["id", "x", "name"]
+        assert len(self.make()) == 3
+
+    def test_unqualified_name_property(self):
+        column = Column("u.x")
+        assert column.unqualified_name == "x"
+        assert column.qualified("v").name == "v.x"
