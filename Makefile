@@ -1,0 +1,25 @@
+# Development entry points.  `make check` is what CI runs.
+
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: check test smoke bench bench-columnar
+
+## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
+check: test smoke
+
+## Tier-1 tests (unit + equivalence + workloads).
+test:
+	$(PYTHON) -m pytest -x -q
+
+## Smoke: the quickstart example must run end to end.
+smoke:
+	$(PYTHON) examples/quickstart.py
+
+## Full benchmark suite (pytest-benchmark; takes a few minutes).
+bench:
+	$(PYTHON) -m pytest benchmarks -q
+
+## Just the columnar-vs-row benchmarks, with timings printed.
+bench-columnar:
+	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q -s

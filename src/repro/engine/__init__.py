@@ -3,12 +3,13 @@
 This package is the "special games engine with features similar to a main
 memory database system" the paper builds SGL on: typed schemas, tables with
 index maintenance and tick snapshots, a logical relational algebra,
-physical operators, spatial and relational indexes, statistics, a
-cost-based and adaptive optimizer, and serial/parallel/distributed
-executors.
+row-at-a-time and columnar (batch) physical operators, spatial and
+relational indexes, statistics, a cost-based and adaptive optimizer, and
+serial/parallel/distributed executors.
 """
 
 from repro.engine.aggregates import AGGREGATE_NAMES, Accumulator, combine_values, make_accumulator
+from repro.engine.batch import ColumnBatch, IndirectColumn
 from repro.engine.algebra import (
     Aggregate,
     AggregateSpec,
@@ -63,6 +64,8 @@ __all__ = [
     "Accumulator",
     "combine_values",
     "make_accumulator",
+    "ColumnBatch",
+    "IndirectColumn",
     "Aggregate",
     "AggregateSpec",
     "Distinct",

@@ -4,6 +4,13 @@
 and adds the plan cache the tick loop relies on: the same logical query is
 executed at every tick (Section 4.1), so plans are compiled once and reused
 until the catalog shape changes or the caller invalidates them.
+
+Results are always row dicts regardless of execution path: when the
+planner chose the columnar batch path for a subtree, its
+:class:`~repro.engine.operators.batch_ops.BatchBridgeOp` root materializes
+the batch back into row dicts, so ``execute`` and ``QueryResult`` are
+path-agnostic.  ``cache_report`` notes which cached plans run on the batch
+path.
 """
 
 from __future__ import annotations
@@ -68,9 +75,17 @@ class _CachedPlan:
 class Executor:
     """Plans and executes logical plans against a catalog, caching plans."""
 
-    def __init__(self, catalog: Catalog, optimize: bool = True, use_indexes: bool = True):
+    def __init__(
+        self,
+        catalog: Catalog,
+        optimize: bool = True,
+        use_indexes: bool = True,
+        use_batch: bool = True,
+    ):
         self.catalog = catalog
-        self.planner = Planner(catalog, optimize=optimize, use_indexes=use_indexes)
+        self.planner = Planner(
+            catalog, optimize=optimize, use_indexes=use_indexes, use_batch=use_batch
+        )
         self._cache: dict[int, _CachedPlan] = {}
 
     # -- planning ---------------------------------------------------------------------
@@ -128,6 +143,7 @@ class Executor:
                     "executions": entry.executions,
                     "mean_runtime": mean,
                     "estimated_cost": entry.planned.estimated.cost,
+                    "batch": entry.planned.uses_batch,
                 }
             )
         return report

@@ -1,7 +1,18 @@
-"""Physical query operators (iterator model)."""
+"""Physical query operators: the row iterator model and the batch path."""
 
 from repro.engine.operators.aggregate import HashAggregateOp
 from repro.engine.operators.base import PhysicalOperator
+from repro.engine.operators.batch_ops import (
+    BatchAggregateOp,
+    BatchBridgeOp,
+    BatchFilterOp,
+    BatchHashJoinOp,
+    BatchNestedLoopJoinOp,
+    BatchOperator,
+    BatchProjectOp,
+    BatchTableScanOp,
+    BatchValuesOp,
+)
 from repro.engine.operators.filter import FilterOp, ProjectOp
 from repro.engine.operators.joins import (
     BandJoinOp,
@@ -37,4 +48,13 @@ __all__ = [
     "LimitOp",
     "DistinctOp",
     "UnionOp",
+    "BatchOperator",
+    "BatchTableScanOp",
+    "BatchValuesOp",
+    "BatchFilterOp",
+    "BatchProjectOp",
+    "BatchHashJoinOp",
+    "BatchNestedLoopJoinOp",
+    "BatchAggregateOp",
+    "BatchBridgeOp",
 ]

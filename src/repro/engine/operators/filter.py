@@ -12,7 +12,12 @@ __all__ = ["FilterOp", "ProjectOp"]
 
 
 class FilterOp(PhysicalOperator):
-    """Pass through rows for which the predicate evaluates to true."""
+    """Pass through rows for which the predicate evaluates to true.
+
+    A pass-through operator: it yields the child's dicts unchanged, so row
+    ownership (see :mod:`repro.engine.operators.scan`) is preserved, not
+    re-established — it never copies.
+    """
 
     def __init__(self, child: PhysicalOperator, predicate: Expression, context: Mapping[str, Any] | None = None):
         super().__init__(child.schema, (child,))

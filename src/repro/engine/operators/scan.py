@@ -1,4 +1,16 @@
-"""Scan operators: full table scans, inline values and index scans."""
+"""Scan operators: full table scans, inline values and index scans.
+
+Row-ownership contract: every operator in this module is a *source* — it
+reads the table's stored row dicts (shared references, via
+:meth:`Table.rows` / :meth:`Table.get`) and emits a **fresh copy** of each
+row (``_qualify_row`` always copies).  Downstream operators may therefore
+mutate or adopt the dicts they receive without corrupting the table.
+Pass-through operators (filter, sort, limit, distinct, union) preserve that
+ownership; projection, join and aggregation build new dicts of their own.
+The batch path gives the same guarantee once, in bulk: values are copied
+into column lists by :meth:`Table.to_batch` and rows materialized fresh at
+the :class:`~repro.engine.operators.batch_ops.BatchBridgeOp` boundary.
+"""
 
 from __future__ import annotations
 
@@ -12,7 +24,11 @@ __all__ = ["TableScanOp", "ValuesOp", "IndexEqualityScanOp", "IndexRangeScanOp"]
 
 
 def _qualify_row(row: Mapping[str, Any], alias: str | None) -> dict[str, Any]:
-    """Return a copy of *row* with keys prefixed by ``alias.`` if requested."""
+    """Copy *row*, prefixing keys with ``alias.`` if requested.
+
+    The copy is not optional: *row* is a shared reference into the table's
+    row store, and the returned dict is handed downstream as consumer-owned.
+    """
     if not alias:
         return dict(row)
     return {f"{alias}.{k.split('.')[-1]}": v for k, v in row.items()}

@@ -40,7 +40,13 @@ DEFAULT_SWITCH_COOLDOWN = 3
 
 @dataclass
 class PlanChoice:
-    """One compiled plan, tagged with the workload state it was built for."""
+    """One compiled plan, tagged with the workload state it was built for.
+
+    Besides the :class:`PlannedQuery` itself, the choice accumulates the
+    runtime counters (executions, total runtime, total output rows) that
+    :meth:`AdaptiveQueryManager.record_execution` uses to detect drift
+    between this plan's cost-model estimates and observed behaviour.
+    """
 
     state: str
     planned: PlannedQuery
@@ -56,7 +62,13 @@ class PlanChoice:
 
 @dataclass
 class ExecutionFeedback:
-    """Runtime signals from one execution of the current plan."""
+    """Runtime signals from one execution of the current plan.
+
+    ``rows`` and ``runtime`` are the cheap always-available signals
+    (observed output cardinality and wall clock); ``state_hint`` is the
+    optional explicit signal from the game — "combat started" — which
+    short-circuits drift detection and switches plans immediately.
+    """
 
     rows: int
     runtime: float
@@ -65,7 +77,14 @@ class ExecutionFeedback:
 
 class AdaptiveQueryManager:
     """Maintains several compiled plans for one logical query and switches
-    between them based on runtime feedback."""
+    between them based on runtime feedback.
+
+    One manager serves one logical query across the whole run: it holds a
+    compiled :class:`PlanChoice` per registered workload state, tracks
+    which is current, and implements the monitor-and-switch policy
+    documented on :meth:`record_execution` (explicit hints first, then
+    cardinality-drift detection with a cooldown as hysteresis).
+    """
 
     def __init__(
         self,

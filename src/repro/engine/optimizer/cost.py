@@ -41,7 +41,14 @@ __all__ = ["CostModel", "PlanCost"]
 
 @dataclass(frozen=True)
 class PlanCost:
-    """Estimated output cardinality and cumulative cost of a plan."""
+    """Estimated output cardinality and cumulative cost of a plan.
+
+    ``cardinality`` is the expected number of output rows; ``cost`` is the
+    C_out-style cumulative work of the whole subtree (intermediate result
+    sizes plus per-operator constants).  Instances are ordered by ``cost``
+    so candidate plans can be compared with ``min`` during join-order
+    enumeration and adaptive plan selection.
+    """
 
     cardinality: float
     cost: float
@@ -51,7 +58,19 @@ class PlanCost:
 
 
 class CostModel:
-    """Estimates cardinalities and C_out-style costs against a catalog."""
+    """Estimates cardinalities and C_out-style costs against a catalog.
+
+    Cardinalities come from the catalog's collected statistics
+    (:mod:`repro.engine.statistics`): per-column histograms for
+    single-table predicates, distinct counts for group-by and equi-join
+    selectivity, and fixed fallback selectivities where no statistics
+    apply.  Costs sum estimated intermediate result sizes weighted by the
+    per-operator constants below; only the *relative* ordering of candidate
+    plans matters, so the constants are calibrated for plausibility, not
+    wall-clock accuracy.  Both estimates read the *current* table sizes and
+    statistics, which is what lets the adaptive optimizer get different
+    answers for different workload states.
+    """
 
     #: Per-row cost charged for producing one output row of any operator.
     ROW_COST = 1.0

@@ -35,7 +35,15 @@ DP_RELATION_LIMIT = 8
 
 @dataclass
 class JoinGraph:
-    """A set of relations (plan subtrees) and predicates connecting them."""
+    """A set of relations (plan subtrees) and the predicates connecting them.
+
+    The flattened form of a tree of inner joins: ``relations`` are the join
+    inputs (scans or arbitrary non-join subtrees) and ``predicates`` the
+    conjuncts of all join conditions and selections that mention more than
+    one relation.  The enumerator re-assembles trees from this graph in
+    different orders and attaches each predicate at the lowest node where
+    all its referenced relations are present.
+    """
 
     relations: list[LogicalPlan] = field(default_factory=list)
     predicates: list[Expression] = field(default_factory=list)

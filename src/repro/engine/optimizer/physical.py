@@ -2,12 +2,20 @@
 
 The physical planner chooses operator implementations:
 
+* a maximal batch-capable subtree (scans, filters, projections, hash and
+  nested-loop joins, aggregation with compilable expressions) lowers to
+  the columnar batch path (:mod:`repro.engine.operators.batch_ops`),
+  bridged back to row dicts at its root by :class:`BatchBridgeOp`,
 * selections directly above a base-table scan use an index
   (:class:`IndexRangeScanOp` / :class:`IndexEqualityScanOp`) when one covers
-  the predicate columns, keeping the rest as a residual filter,
+  the predicate columns, keeping the rest as a residual filter — index
+  scans win over the batch path because they skip rows entirely,
 * joins become hash joins (equi conjuncts), range-probe joins (the
-  Figure 2 "units within range" shape), or nested-loop joins,
-* everything else lowers one-to-one.
+  Figure 2 "units within range" shape), or nested-loop joins; the
+  grid-accelerated range-probe join stays on the row path, where it beats
+  a batch nested loop,
+* everything else lowers one-to-one on the row path, with children again
+  free to choose the batch path below.
 """
 
 from __future__ import annotations
@@ -28,9 +36,26 @@ from repro.engine.algebra import (
     Values,
 )
 from repro.engine.catalog import Catalog
-from repro.engine.errors import PlanError
-from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, and_all
+from repro.engine.errors import PlanError, SchemaError
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    Literal,
+    and_all,
+    batch_supported,
+    resolve_batch_column,
+)
 from repro.engine.operators import (
+    BatchAggregateOp,
+    BatchBridgeOp,
+    BatchFilterOp,
+    BatchHashJoinOp,
+    BatchNestedLoopJoinOp,
+    BatchOperator,
+    BatchProjectOp,
+    BatchTableScanOp,
+    BatchValuesOp,
     CrossJoinOp,
     DistinctOp,
     FilterOp,
@@ -54,15 +79,25 @@ __all__ = ["PhysicalPlanner"]
 
 
 class PhysicalPlanner:
-    """Translates optimized logical plans into executable operator trees."""
+    """Translates optimized logical plans into executable operator trees.
 
-    def __init__(self, catalog: Catalog, use_indexes: bool = True):
+    ``use_indexes=False`` forces pure scan plans; ``use_batch=False``
+    forces row-at-a-time plans (used by the equivalence tests and by
+    ``benchmarks/bench_columnar.py`` to quantify what each path buys).
+    """
+
+    def __init__(self, catalog: Catalog, use_indexes: bool = True, use_batch: bool = True):
         self.catalog = catalog
         self.use_indexes = use_indexes
+        self.use_batch = use_batch
 
     # -- entry point ------------------------------------------------------------------
 
     def lower(self, plan: LogicalPlan) -> PhysicalOperator:
+        if self.use_batch:
+            batched = self._lower_batch(plan)
+            if batched is not None:
+                return BatchBridgeOp(batched, plan.output_schema(self.catalog))
         if isinstance(plan, TableScan):
             return self._lower_scan(plan)
         if isinstance(plan, Values):
@@ -106,9 +141,17 @@ class PhysicalPlanner:
         lowered = self.lower(child)
         return FilterOp(lowered, plan.predicate)
 
-    def _try_index_scan(self, scan: TableScan, predicate: Expression) -> PhysicalOperator | None:
-        """Use a table index for constant equality / range conjuncts."""
-        table = self.catalog.table(scan.table_name)
+    def _match_index(
+        self, table_name: str, predicate: Expression
+    ) -> tuple[str, list[tuple[Any, Any]]] | None:
+        """Find an index covering the predicate's constant bounds, if any.
+
+        Pure decision, no operator construction — shared by the row path
+        (:meth:`_try_index_scan`) and the batch path (which *declines* when
+        an index applies, since an index scan skips rows entirely).
+        Returns ``(index_name, per-column (low, high) bounds)``.
+        """
+        table = self.catalog.table(table_name)
         if not table.indexes:
             return None
         conjuncts = (
@@ -132,16 +175,24 @@ class PhysicalPlanner:
                 entry[1] = value if entry[1] is None else min(entry[1], value)
         if not bounds:
             return None
-        schema = scan.output_schema(self.catalog)
         for index_name, index in table.indexes.items():
             index_cols = [c.split(".")[-1] for c in index.columns]
             if not index_cols or not all(c in bounds for c in index_cols):
                 continue
-            index_bounds = [tuple(bounds[c]) for c in index_cols]
-            scan_op = IndexRangeScanOp(table, schema, index_name, index_bounds, scan.alias)
-            # The index may be approximate on ties/borders; always re-check.
-            return FilterOp(scan_op, predicate)
+            return index_name, [tuple(bounds[c]) for c in index_cols]
         return None
+
+    def _try_index_scan(self, scan: TableScan, predicate: Expression) -> PhysicalOperator | None:
+        """Use a table index for constant equality / range conjuncts."""
+        matched = self._match_index(scan.table_name, predicate)
+        if matched is None:
+            return None
+        index_name, index_bounds = matched
+        table = self.catalog.table(scan.table_name)
+        schema = scan.output_schema(self.catalog)
+        scan_op = IndexRangeScanOp(table, schema, index_name, index_bounds, scan.alias)
+        # The index may be approximate on ties/borders; always re-check.
+        return FilterOp(scan_op, predicate)
 
     # -- joins ------------------------------------------------------------------------------
 
@@ -174,6 +225,109 @@ class PhysicalPlanner:
                 residual = and_all(residual_conjuncts) if residual_conjuncts else None
                 return RangeProbeJoinOp(left, right, dimensions, schema, residual=residual)
         return NestedLoopJoinOp(left, right, plan.condition, schema, how=plan.how)
+
+    # -- batch (columnar) lowering ----------------------------------------------------
+
+    def _lower_batch(self, plan: LogicalPlan) -> BatchOperator | None:
+        """Lower *plan* to a batch operator tree, or ``None`` to stay on rows.
+
+        The decision is made entirely at plan time: every expression is
+        checked with :func:`batch_supported` against the child's *batch*
+        column names (which equal the row dicts' keys), so a chosen batch
+        plan cannot fail to compile at runtime.  Nodes that decline —
+        index-friendly selections, range-probe joins, sorts, limits — keep
+        the whole subtree above them on the row path, while their children
+        may still batch independently via :meth:`lower`.
+        """
+        if isinstance(plan, TableScan):
+            table = self.catalog.table(plan.table_name)
+            return BatchTableScanOp(table, plan.output_schema(self.catalog), plan.alias)
+        if isinstance(plan, Values):
+            schema = plan.schema
+            wanted = set(schema.names)
+            if all(set(row) == wanted for row in plan.rows):
+                return BatchValuesOp(schema, plan.rows)
+            return None
+        if isinstance(plan, Select):
+            # An index scan skips rows entirely; prefer it over batching.
+            if self.use_indexes and isinstance(plan.child, TableScan):
+                if self._match_index(plan.child.table_name, plan.predicate) is not None:
+                    return None
+            child = self._lower_batch(plan.child)
+            if child is None or not batch_supported(plan.predicate, child.names):
+                return None
+            return BatchFilterOp(child, plan.predicate)
+        if isinstance(plan, Project):
+            child = self._lower_batch(plan.child)
+            if child is None:
+                return None
+            if not all(batch_supported(e, child.names) for _, e in plan.projections):
+                return None
+            return BatchProjectOp(child, plan.projections, plan.output_schema(self.catalog))
+        if isinstance(plan, Join):
+            return self._lower_batch_join(plan)
+        if isinstance(plan, Aggregate):
+            return self._lower_batch_aggregate(plan)
+        return None
+
+    def _lower_batch_join(self, plan: Join) -> BatchOperator | None:
+        left = self._lower_batch(plan.left)
+        right = self._lower_batch(plan.right)
+        if left is None or right is None:
+            return None
+        schema = plan.output_schema(self.catalog)
+        if plan.how == "cross" or plan.condition is None:
+            return BatchNestedLoopJoinOp(left, right, None, schema, how=plan.how if plan.how == "left" else "inner")
+        left_schema = plan.left.output_schema(self.catalog)
+        right_schema = plan.right.output_schema(self.catalog)
+        conjuncts = (
+            plan.condition.conjuncts()
+            if isinstance(plan.condition, BinaryOp)
+            else [plan.condition]
+        )
+        combined_names = left.names + right.names
+        equi = _extract_equi_keys(conjuncts, left_schema, right_schema)
+        if equi:
+            left_keys, right_keys, residual_conjuncts = equi
+            if not all(batch_supported(k, left.names) for k in left_keys):
+                return None
+            if not all(batch_supported(k, right.names) for k in right_keys):
+                return None
+            residual = and_all(residual_conjuncts) if residual_conjuncts else None
+            if residual is not None and not batch_supported(residual, combined_names):
+                return None
+            return BatchHashJoinOp(
+                left, right, left_keys, right_keys, schema, residual=residual, how=plan.how
+            )
+        if plan.how == "inner" and _extract_range_probe(conjuncts, left_schema, right_schema):
+            # The grid-accelerated RangeProbeJoinOp (row path) beats a
+            # batch nested loop on the Figure-2 band-join shape.
+            return None
+        if not batch_supported(plan.condition, combined_names):
+            return None
+        return BatchNestedLoopJoinOp(left, right, plan.condition, schema, how=plan.how)
+
+    def _lower_batch_aggregate(self, plan: Aggregate) -> BatchOperator | None:
+        child = self._lower_batch(plan.child)
+        if child is None:
+            return None
+        try:
+            child_schema = plan.child.output_schema(self.catalog)
+            resolved = [child_schema.resolve(g) for g in plan.group_by]
+        except SchemaError:
+            return None
+        group_columns = []
+        for name in resolved:
+            batch_name = resolve_batch_column(name, child.names)
+            if batch_name is None:
+                return None
+            group_columns.append(batch_name)
+        for spec in plan.aggregates:
+            if spec.argument is not None and not batch_supported(spec.argument, child.names):
+                return None
+        return BatchAggregateOp(
+            child, plan.group_by, group_columns, plan.aggregates, plan.output_schema(self.catalog)
+        )
 
 
 # -- condition analysis helpers ------------------------------------------------------------

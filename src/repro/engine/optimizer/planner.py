@@ -17,12 +17,26 @@ __all__ = ["Planner", "PlannedQuery"]
 
 @dataclass
 class PlannedQuery:
-    """The result of planning one query: plans, cost estimate, explain text."""
+    """The result of planning one query.
+
+    Bundles the original logical plan, the rewritten/reordered logical
+    plan, the lowered physical operator tree (which the executor runs
+    every tick) and the cost estimate the plan was chosen with — the
+    adaptive optimizer compares that estimate against observed runtime
+    cardinalities to decide when to re-plan.
+    """
 
     logical: LogicalPlan
     optimized: LogicalPlan
     physical: PhysicalOperator
     estimated: PlanCost
+
+    @property
+    def uses_batch(self) -> bool:
+        """Whether any part of the physical plan runs on the batch path."""
+        from repro.engine.operators import BatchBridgeOp
+
+        return any(isinstance(op, BatchBridgeOp) for op in self.physical.walk())
 
     def explain(self, analyze: bool = False) -> str:
         lines = [
@@ -40,16 +54,30 @@ class PlannedQuery:
 class Planner:
     """Cost-based planner over a catalog.
 
+    Orchestrates the full pipeline for one query: logical rewrites
+    (:mod:`repro.engine.optimizer.rules`), cost-based join reordering
+    (:mod:`repro.engine.optimizer.join_order`), then lowering to physical
+    operators (:class:`~repro.engine.optimizer.physical.PhysicalPlanner`).
+
     ``optimize=False`` skips rewrites and join reordering (used by the
     benchmarks to quantify what the optimizer buys); ``use_indexes=False``
-    forces pure scan plans.
+    forces pure scan plans; ``use_batch=False`` forces row-at-a-time plans
+    instead of the columnar batch path.
     """
 
-    def __init__(self, catalog: Catalog, optimize: bool = True, use_indexes: bool = True):
+    def __init__(
+        self,
+        catalog: Catalog,
+        optimize: bool = True,
+        use_indexes: bool = True,
+        use_batch: bool = True,
+    ):
         self.catalog = catalog
         self.optimize = optimize
         self.cost_model = CostModel(catalog)
-        self.physical_planner = PhysicalPlanner(catalog, use_indexes=use_indexes)
+        self.physical_planner = PhysicalPlanner(
+            catalog, use_indexes=use_indexes, use_batch=use_batch
+        )
 
     def plan(self, logical: LogicalPlan) -> PlannedQuery:
         """Produce a physical plan for *logical*."""

@@ -18,10 +18,13 @@ paper (Section 2):
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.engine.errors import CatalogError, ExecutionError, SchemaError
 from repro.engine.schema import Column, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.engine.batch import ColumnBatch
 
 __all__ = ["Table", "RowId"]
 
@@ -43,6 +46,7 @@ class Table:
         self._indexes: dict[str, "TableIndex"] = {}
         self._frozen = False
         self._version = 0
+        self._batch_cache: "tuple[int, ColumnBatch] | None" = None
 
     # -- introspection ------------------------------------------------------------
 
@@ -65,23 +69,66 @@ class Table:
         return iter(self._rows.keys())
 
     def rows(self) -> Iterator[dict[str, Any]]:
-        """Iterate over row dicts (shared references — do not mutate)."""
+        """Iterate over the *stored* row dicts — shared references.
+
+        Callers must treat the yielded dicts as read-only: mutating one
+        corrupts the table behind the indexes' back.  This is the fast path
+        used by read-only consumers (the statistics collector,
+        :meth:`to_batch`, and the scan operators, which copy each row
+        themselves before handing it downstream — see
+        :mod:`repro.engine.operators.scan` for the per-operator copy
+        contract).  Use :meth:`scan` when the consumer needs rows it may
+        mutate.
+        """
         return iter(self._rows.values())
 
     def scan(self) -> Iterator[dict[str, Any]]:
-        """Iterate over copies of the rows, safe for downstream mutation."""
+        """Iterate over *copies* of the rows, safe for downstream mutation.
+
+        Each yielded dict is freshly allocated and owned by the caller; the
+        table cannot be corrupted through it.  Prefer :meth:`rows` when the
+        consumer is read-only — copying here and again downstream is the
+        exact per-row cost the columnar batch path exists to avoid.
+        """
         for row in self._rows.values():
             yield dict(row)
 
+    def to_batch(self) -> "ColumnBatch":
+        """Return the table contents as a :class:`~repro.engine.batch.ColumnBatch`.
+
+        The batch stores one Python list per column (values copied out of
+        the row dicts, so downstream operators can never corrupt the table)
+        and is cached per :attr:`version`: during the query and effect steps
+        of a tick the state tables are frozen, so every query of the tick —
+        and every operator within a query — shares one columnar snapshot
+        instead of materializing a dict per row per operator.
+        """
+        from repro.engine.batch import ColumnBatch
+
+        if self._batch_cache is not None and self._batch_cache[0] == self._version:
+            return self._batch_cache[1]
+        batch = ColumnBatch.from_rows(self.schema.names, self._rows.values())
+        self._batch_cache = (self._version, batch)
+        return batch
+
     def get(self, rowid: RowId) -> dict[str, Any]:
-        """Return the row stored under *rowid* (a shared reference)."""
+        """Return the row stored under *rowid* — a shared, read-only reference.
+
+        Mutating the returned dict bypasses the version counter, so indexes,
+        cached statistics and the columnar snapshot (:meth:`to_batch`) would
+        all go stale; use :meth:`update` to change a row.
+        """
         try:
             return self._rows[rowid]
         except KeyError:
             raise ExecutionError(f"table {self.name!r} has no row id {rowid}") from None
 
     def get_by_key(self, key_value: Any) -> dict[str, Any] | None:
-        """Return the row whose key column equals *key_value*, if any."""
+        """Return the row whose key column equals *key_value*, if any.
+
+        A shared, read-only reference, like :meth:`get` — mutate via
+        :meth:`update` / :meth:`update_by_key` only.
+        """
         if self.key is None:
             raise ExecutionError(f"table {self.name!r} has no key column")
         rowid = self._key_map.get(key_value)
@@ -177,7 +224,11 @@ class Table:
         self._version += 1
 
     def delete_where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> int:
-        """Delete all rows matching *predicate*; return how many were removed."""
+        """Delete all rows matching *predicate*; return how many were removed.
+
+        The predicate receives the stored row dicts (shared references, as
+        with :meth:`rows`) and must not mutate them.
+        """
         doomed = [rid for rid, row in self._rows.items() if predicate(row)]
         for rid in doomed:
             self.delete(rid)

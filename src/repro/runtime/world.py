@@ -90,6 +90,7 @@ class GameWorld:
         vertical_groups: Sequence[Sequence[str]] | None = None,
         optimize: bool = True,
         use_indexes: bool = True,
+        use_batch: bool = True,
     ):
         self.program = parse_program(source) if isinstance(source, str) else source
         self.analyzed: AnalyzedProgram = analyze_program(self.program)
@@ -104,7 +105,9 @@ class GameWorld:
         self.schemas: dict[str, GeneratedSchema] = {}
         self._register_schemas()
 
-        self.executor = Executor(self.catalog, optimize=optimize, use_indexes=use_indexes)
+        self.executor = Executor(
+            self.catalog, optimize=optimize, use_indexes=use_indexes, use_batch=use_batch
+        )
         self.interpreter = ScriptInterpreter(self.analyzed)
         self.compiler = SGLCompiler(self.analyzed, self.schemas, self.schema_generator)
         self._compiled: CompiledProgram | None = None

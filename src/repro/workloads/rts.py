@@ -92,10 +92,16 @@ def build_rts_world(
     scripts: Iterable[str] | None = None,
     optimize: bool = True,
     use_indexes: bool = True,
+    use_batch: bool = True,
 ) -> GameWorld:
     """Build a ready-to-tick RTS world with *n_units* units."""
     world = GameWorld(
-        RTS_SOURCE, mode=mode, layout=layout, optimize=optimize, use_indexes=use_indexes
+        RTS_SOURCE,
+        mode=mode,
+        layout=layout,
+        optimize=optimize,
+        use_indexes=use_indexes,
+        use_batch=use_batch,
     )
     world.add_update_rule(
         "Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0)

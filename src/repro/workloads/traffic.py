@@ -82,9 +82,10 @@ def build_traffic_world(
     n_lanes: int = 4,
     road_length: float = 1000.0,
     seed: int = 23,
+    use_batch: bool = True,
 ) -> GameWorld:
     """A ring-road traffic world; positions wrap around at ``road_length``."""
-    world = GameWorld(TRAFFIC_SOURCE, mode=mode)
+    world = GameWorld(TRAFFIC_SOURCE, mode=mode, use_batch=use_batch)
     world.add_update_rule(
         "Vehicle",
         "velocity",
