@@ -1,9 +1,12 @@
-# Development entry points.  `make check` is what CI runs.
+# Development entry points.  Each target mirrors a CI job exactly:
+# `make check` = the test job, `make lint` = the lint job,
+# `make bench-incremental` = the incremental speedup gate,
+# `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke bench bench-columnar
+.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -16,6 +19,10 @@ test:
 smoke:
 	$(PYTHON) examples/quickstart.py
 
+## Lint (same command as the CI lint job; `pip install ruff` if missing).
+lint:
+	ruff check .
+
 ## Full benchmark suite (pytest-benchmark; takes a few minutes).
 bench:
 	$(PYTHON) -m pytest benchmarks -q
@@ -23,3 +30,11 @@ bench:
 ## Just the columnar-vs-row benchmarks, with timings printed.
 bench-columnar:
 	$(PYTHON) -m pytest benchmarks/bench_columnar.py -q -s
+
+## Incremental-vs-batch/row benchmarks incl. the >=3x low-churn gate.
+bench-incremental:
+	$(PYTHON) -m pytest benchmarks/bench_incremental.py -q -s
+
+## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
+bench-ci:
+	$(PYTHON) benchmarks/ci_bench.py --output BENCH_tick.json --baseline benchmarks/BENCH_baseline.json

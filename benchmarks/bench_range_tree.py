@@ -15,7 +15,7 @@ import random
 import pytest
 
 from repro.bench import Experiment, measure
-from repro.engine.indexes import GridIndex, KdTreeIndex, RangeTreeIndex
+from repro.engine.indexes import KdTreeIndex, RangeTreeIndex
 
 
 def make_points(n: int, dims: int = 2, seed: int = 9):

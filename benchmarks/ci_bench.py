@@ -1,0 +1,191 @@
+"""CI benchmark pipeline: record the perf trajectory, gate regressions.
+
+Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
+
+* per-workload tick times (rts / traffic / marketplace, compiled mode,
+  default engine configuration) — recorded for trend tracking,
+* the shared low-churn incremental scenario
+  (``benchmarks/incremental_scenario.py``) timed on all three execution
+  paths, yielding the incremental-vs-batch and incremental-vs-row
+  speedups, plus the batch-vs-row speedup of the hot tick query.
+
+Regression gating compares the *dimensionless speedups* against the
+checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
+drops by more than ``--tolerance`` (default 20%).  Absolute tick times are
+recorded in the artifact but never gated — CI runners differ too much in
+raw speed for wall-clock thresholds to be meaningful; the ratios between
+paths on the same machine are stable.
+
+Usage::
+
+    python benchmarks/ci_bench.py --output BENCH_tick.json \
+        --baseline benchmarks/BENCH_baseline.json          # check (CI)
+    python benchmarks/ci_bench.py --write-baseline         # refresh baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import statistics
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from incremental_scenario import (  # noqa: E402
+    CHURN_FRACTION,
+    SEED,
+    build_units_catalog,
+    churn_step,
+    tick_query,
+)
+from repro import ExecutionMode  # noqa: E402
+from repro.engine.executor import Executor  # noqa: E402
+from repro.workloads import build_rts_world  # noqa: E402
+from repro.workloads.marketplace import build_marketplace_world  # noqa: E402
+from repro.workloads.traffic import build_traffic_world  # noqa: E402
+
+BASELINE_DEFAULT = os.path.join(os.path.dirname(os.path.abspath(__file__)), "BENCH_baseline.json")
+
+#: Speedup metrics gated against the baseline (path → description).
+GATED_METRICS = {
+    "incremental.speedup_vs_batch": "incremental path vs batch path",
+    "incremental.speedup_vs_row": "incremental path vs row path",
+    "incremental.batch_speedup_vs_row": "batch path vs row path",
+}
+
+
+def _time_ticks(world, ticks: int) -> float:
+    world.tick()  # warm plan caches and snapshots
+    samples = []
+    for _ in range(ticks):
+        start = time.perf_counter()
+        world.tick()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def bench_workloads() -> dict:
+    workloads = {
+        "rts": lambda: build_rts_world(150, mode=ExecutionMode.COMPILED),
+        "traffic": lambda: build_traffic_world(150, mode=ExecutionMode.COMPILED),
+        "marketplace": lambda: build_marketplace_world(60, mode=ExecutionMode.COMPILED),
+    }
+    out = {}
+    for name, builder in workloads.items():
+        median = _time_ticks(builder(), ticks=15)
+        out[name] = {"median_tick_seconds": round(median, 6)}
+    return out
+
+
+def bench_incremental(ticks: int = 30) -> dict:
+    catalog, units = build_units_catalog()
+    plan = tick_query()
+    paths = {
+        "incremental": Executor(catalog),
+        "batch": Executor(catalog, use_incremental=False),
+        "row": Executor(catalog, use_batch=False, use_incremental=False),
+    }
+    assert paths["incremental"].register_incremental(plan)
+    for executor in paths.values():
+        executor.execute(plan)
+    rng = random.Random(SEED)
+    totals = dict.fromkeys(paths, 0.0)
+    for tick in range(ticks):
+        churn_step(units, rng, tick)
+        for name, executor in paths.items():
+            start = time.perf_counter()
+            executor.execute(plan)
+            totals[name] += time.perf_counter() - start
+    return {
+        "ticks": ticks,
+        "rows": len(units),
+        "churn_fraction": CHURN_FRACTION,
+        "incremental_seconds": round(totals["incremental"], 6),
+        "batch_seconds": round(totals["batch"], 6),
+        "row_seconds": round(totals["row"], 6),
+        "speedup_vs_batch": round(totals["batch"] / totals["incremental"], 3),
+        "speedup_vs_row": round(totals["row"] / totals["incremental"], 3),
+        "batch_speedup_vs_row": round(totals["row"] / totals["batch"], 3),
+    }
+
+
+def run_suite() -> dict:
+    return {
+        "schema": 1,
+        "workloads": bench_workloads(),
+        "incremental": bench_incremental(),
+    }
+
+
+def _lookup(results: dict, dotted: str):
+    node = results
+    for part in dotted.split("."):
+        node = node[part]
+    return node
+
+
+def check_regressions(results: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures = []
+    for metric, description in GATED_METRICS.items():
+        try:
+            base = float(_lookup(baseline, metric))
+        except (KeyError, TypeError):
+            continue  # metric not in baseline yet: informational only
+        current = float(_lookup(results, metric))
+        floor = base * (1.0 - tolerance)
+        if current < floor:
+            failures.append(
+                f"{metric} ({description}): {current:.2f}x is more than "
+                f"{tolerance:.0%} below the baseline {base:.2f}x (floor {floor:.2f}x)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default="BENCH_tick.json", help="where to write results")
+    parser.add_argument("--baseline", default=None, help="baseline JSON to gate against")
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write results to {BASELINE_DEFAULT} instead of gating",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.20, help="allowed regression")
+    args = parser.parse_args(argv)
+
+    results = run_suite()
+    with open(args.output, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {args.output}")
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    if args.write_baseline:
+        with open(BASELINE_DEFAULT, "w") as handle:
+            json.dump(results, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote baseline {BASELINE_DEFAULT}")
+        return 0
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline = json.load(handle)
+        failures = check_regressions(results, baseline, args.tolerance)
+        if failures:
+            print("PERF REGRESSION:", file=sys.stderr)
+            for failure in failures:
+                print(f"  - {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression beyond {args.tolerance:.0%} vs {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

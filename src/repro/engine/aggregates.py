@@ -18,7 +18,7 @@ of evaluation order, as the tick semantics require.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from repro.engine.errors import ExecutionError
 

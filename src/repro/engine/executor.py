@@ -11,18 +11,27 @@ planner chose the columnar batch path for a subtree, its
 the batch back into row dicts, so ``execute`` and ``QueryResult`` are
 path-agnostic.  ``cache_report`` notes which cached plans run on the batch
 path.
+
+A third path exists for *registered* queries: :meth:`Executor.register_incremental`
+lowers a plan to a delta-maintained materialized view
+(:mod:`repro.engine.operators.incremental`) when the planner can prove it
+correct, after which ``execute`` serves the view — cached rows when no
+referenced table changed, delta maintenance when the change logs cover the
+churn, full re-execution otherwise.  Registration is explicit because the
+view maintains a row *multiset*: callers that can observe result row order
+(or need exact float reproducibility) must stay on the full paths.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from dataclasses import dataclass
+from typing import Any
 
 from repro.engine.algebra import LogicalPlan
 from repro.engine.catalog import Catalog
 from repro.engine.errors import ExecutionError
-from repro.engine.operators import PhysicalOperator
+from repro.engine.operators import IncrementalView, PhysicalOperator
 from repro.engine.optimizer.planner import PlannedQuery, Planner
 
 __all__ = ["Executor", "QueryResult"]
@@ -81,12 +90,15 @@ class Executor:
         optimize: bool = True,
         use_indexes: bool = True,
         use_batch: bool = True,
+        use_incremental: bool = True,
     ):
         self.catalog = catalog
         self.planner = Planner(
             catalog, optimize=optimize, use_indexes=use_indexes, use_batch=use_batch
         )
+        self.use_incremental = use_incremental
         self._cache: dict[int, _CachedPlan] = {}
+        self._incremental: dict[int, IncrementalView] = {}
 
     # -- planning ---------------------------------------------------------------------
 
@@ -101,17 +113,67 @@ class Executor:
         return planned
 
     def invalidate(self, plan: LogicalPlan | None = None) -> None:
-        """Drop one cached plan or the whole cache."""
+        """Drop one cached plan (and its incremental view) or everything."""
         if plan is None:
             self._cache.clear()
+            self._incremental.clear()
         else:
             self._cache.pop(id(plan), None)
+            self._incremental.pop(id(plan), None)
+
+    # -- incremental registration ----------------------------------------------------
+
+    def register_incremental(self, plan: LogicalPlan) -> bool:
+        """Try to maintain *plan*'s result incrementally from table deltas.
+
+        Returns ``True`` when the plan was lowered to a materialized view
+        (subsequent :meth:`execute` calls serve and maintain it), ``False``
+        when the planner declined — non-monotonic operators, order-dependent
+        aggregates, band joins — or incremental execution is disabled; the
+        query then simply stays on the batch/row paths.
+
+        Only register queries whose consumers treat the result as a row
+        multiset: the view does not reproduce full-execution row order
+        after churn, and float aggregates are maintained by running
+        addition/subtraction (exact for ints, ±rounding error for floats).
+        """
+        if not self.use_incremental:
+            return False
+        key = id(plan)
+        if key in self._incremental:
+            return True
+        planned = self.prepare(plan)
+        view = self.planner.build_incremental(planned.optimized)
+        if view is None:
+            return False
+        self._incremental[key] = view
+        return True
+
+    def incremental_view(self, plan: LogicalPlan) -> IncrementalView | None:
+        """The registered view for *plan*, if any (inspection/tests)."""
+        return self._incremental.get(id(plan))
 
     # -- execution ----------------------------------------------------------------------
 
     def execute(self, plan: LogicalPlan, cache: bool = True) -> QueryResult:
         """Plan (or reuse a cached plan for) and execute *plan*."""
         planned = self.prepare(plan, cache=cache)
+        view = self._incremental.get(id(plan))
+        if view is not None:
+            start = time.perf_counter()
+            try:
+                rows = view.refresh()
+            except ExecutionError:
+                # Defensive: a view that cannot even full-rebuild is dropped
+                # for good; the query falls through to the physical plan.
+                self._incremental.pop(id(plan), None)
+            else:
+                runtime = time.perf_counter() - start
+                if cache and id(plan) in self._cache:
+                    entry = self._cache[id(plan)]
+                    entry.executions += 1
+                    entry.total_runtime += runtime
+                return QueryResult(rows=rows, runtime=runtime, planned=planned)
         return self.execute_planned(planned, cache_key=id(plan) if cache else None)
 
     def execute_planned(
@@ -135,7 +197,7 @@ class Executor:
     def cache_report(self) -> list[dict[str, Any]]:
         """Execution counts and mean runtimes of cached plans."""
         report = []
-        for entry in self._cache.values():
+        for key, entry in self._cache.items():
             mean = entry.total_runtime / entry.executions if entry.executions else 0.0
             report.append(
                 {
@@ -144,6 +206,19 @@ class Executor:
                     "mean_runtime": mean,
                     "estimated_cost": entry.planned.estimated.cost,
                     "batch": entry.planned.uses_batch,
+                    "incremental": key in self._incremental,
                 }
             )
+        return report
+
+    def incremental_report(self) -> list[dict[str, Any]]:
+        """Refresh statistics for every registered incremental view."""
+        report = []
+        for key, view in self._incremental.items():
+            entry = self._cache.get(key)
+            stats = view.stats()
+            stats["plan"] = (
+                entry.planned.optimized.node_label() if entry is not None else "?"
+            )
+            report.append(stats)
         return report

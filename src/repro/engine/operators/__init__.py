@@ -14,6 +14,20 @@ from repro.engine.operators.batch_ops import (
     BatchValuesOp,
 )
 from repro.engine.operators.filter import FilterOp, ProjectOp
+from repro.engine.operators.incremental import (
+    DeltaAggregateOp,
+    DeltaFilterOp,
+    DeltaJoinOp,
+    DeltaOperator,
+    DeltaProjectOp,
+    DeltaScanOp,
+    DeltaUnionOp,
+    DeltaUnavailable,
+    DeltaValuesOp,
+    IncrementalDisabled,
+    IncrementalError,
+    IncrementalView,
+)
 from repro.engine.operators.joins import (
     BandJoinOp,
     CrossJoinOp,
@@ -42,6 +56,7 @@ __all__ = [
     "HashJoinOp",
     "IndexNestedLoopJoinOp",
     "BandJoinOp",
+    "RangeProbeJoinOp",
     "CrossJoinOp",
     "HashAggregateOp",
     "SortOp",
@@ -57,4 +72,16 @@ __all__ = [
     "BatchNestedLoopJoinOp",
     "BatchAggregateOp",
     "BatchBridgeOp",
+    "DeltaOperator",
+    "DeltaScanOp",
+    "DeltaValuesOp",
+    "DeltaFilterOp",
+    "DeltaProjectOp",
+    "DeltaJoinOp",
+    "DeltaAggregateOp",
+    "DeltaUnionOp",
+    "DeltaUnavailable",
+    "IncrementalError",
+    "IncrementalDisabled",
+    "IncrementalView",
 ]

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import functools
 from typing import Any, Iterator, Sequence
 
 from repro.engine.algebra import SortKey

@@ -1,0 +1,176 @@
+"""Lowering logical plans to delta-driven incremental form.
+
+The :class:`IncrementalPlanner` decides, entirely at plan time, whether a
+registered per-tick query can be maintained from table deltas
+(:mod:`repro.engine.operators.incremental`) instead of being re-executed
+from scratch every tick.  The decision is conservative: a plan is lowered
+only when every node is *provably* delta-correct, and anything else keeps
+the query on the batch/row paths.
+
+Fallback rules (mirroring the docstring in ``docs/ARCHITECTURE.md``):
+
+* ``Sort`` / ``Limit`` / ``Distinct`` — non-monotonic or order-defining;
+  a delta of the input does not determine a delta of the output without
+  re-sorting, so these always fall back.
+* Joins lower to :class:`~repro.engine.operators.incremental.DeltaJoinOp`:
+  equi joins (inner and left outer, the accum-loop shape) with hashed key
+  probing, and keyless inner joins (cross products and non-equi conditions
+  such as the Figure-2 band join) whose per-refresh cost the view's churn
+  guard keeps below a full re-execution.  Keyless *left* joins fall back —
+  their padding terms would re-probe every left row.
+* Aggregates using ``first`` / ``last`` / ``collect`` — input-order
+  dependent, which a maintained multiset cannot reproduce; all other
+  combinators lower to
+  :class:`~repro.engine.operators.incremental.DeltaAggregateOp`.
+
+Every stateless node also carries a lowered physical plan for its *full*
+current output (used by join delta terms and full rebuilds), so the
+incremental path reuses the columnar batch machinery rather than
+reimplementing evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.engine.algebra import (
+    Aggregate,
+    Join,
+    LogicalPlan,
+    Project,
+    Select,
+    TableScan,
+    Union,
+    Values,
+)
+from repro.engine.catalog import Catalog
+from repro.engine.errors import SchemaError
+from repro.engine.expressions import BinaryOp, and_all
+from repro.engine.operators.incremental import (
+    MAINTAINABLE_AGGS,
+    DeltaAggregateOp,
+    DeltaFilterOp,
+    DeltaJoinOp,
+    DeltaOperator,
+    DeltaProjectOp,
+    DeltaScanOp,
+    DeltaUnionOp,
+    DeltaValuesOp,
+    IncrementalView,
+)
+from repro.engine.optimizer.physical import PhysicalPlanner, _extract_equi_keys
+
+__all__ = ["IncrementalPlanner"]
+
+
+class IncrementalPlanner:
+    """Builds :class:`IncrementalView` instances for maintainable plans."""
+
+    def __init__(self, catalog: Catalog, physical_planner: PhysicalPlanner):
+        self.catalog = catalog
+        self.physical_planner = physical_planner
+
+    def build_view(self, plan: LogicalPlan) -> IncrementalView | None:
+        """Lower *plan* to a maintained view, or ``None`` to stay full.
+
+        Enables change logging on every referenced base table (idempotent;
+        before the first refresh the logs are empty and the view performs
+        one full rebuild to seed its state).
+        """
+        root = self._build(plan)
+        if root is None:
+            return None
+        tables = {
+            name: self.catalog.table(name) for name in plan.referenced_tables()
+        }
+        for table in tables.values():
+            table.enable_change_log()
+        return IncrementalView(root, tables, root.names)
+
+    # -- recursive lowering ---------------------------------------------------------
+
+    def _build(self, plan: LogicalPlan) -> DeltaOperator | None:
+        if isinstance(plan, TableScan):
+            table = self.catalog.table(plan.table_name)
+            return DeltaScanOp(table, plan.output_schema(self.catalog).names)
+        if isinstance(plan, Values):
+            wanted = set(plan.schema.names)
+            if not all(set(row) == wanted for row in plan.rows):
+                return None
+            return DeltaValuesOp(plan.schema.names, plan.rows)
+        if isinstance(plan, Select):
+            child = self._build(plan.child)
+            if child is None:
+                return None
+            return DeltaFilterOp(child, plan.predicate, self._full_plan(plan))
+        if isinstance(plan, Project):
+            child = self._build(plan.child)
+            if child is None:
+                return None
+            return DeltaProjectOp(child, plan.projections, self._full_plan(plan))
+        if isinstance(plan, Join):
+            return self._build_join(plan)
+        if isinstance(plan, Aggregate):
+            return self._build_aggregate(plan)
+        if isinstance(plan, Union):
+            left = self._build(plan.left)
+            right = self._build(plan.right)
+            if left is None or right is None:
+                return None
+            return DeltaUnionOp(left, right, self._full_plan(plan))
+        # Sort / Limit / Distinct / anything unknown: not delta-correct.
+        return None
+
+    def _build_join(self, plan: Join) -> DeltaOperator | None:
+        left = self._build(plan.left)
+        right = self._build(plan.right)
+        if left is None or right is None:
+            return None
+        how = "left" if plan.how == "left" else "inner"
+        if plan.how == "cross" or plan.condition is None:
+            if how == "left":
+                # Keyless left join (see below): not worth maintaining.
+                return None
+            return DeltaJoinOp(
+                left, right, [], [], None, self._full_plan(plan), how=how
+            )
+        left_schema = plan.left.output_schema(self.catalog)
+        right_schema = plan.right.output_schema(self.catalog)
+        conjuncts = (
+            plan.condition.conjuncts()
+            if isinstance(plan.condition, BinaryOp)
+            else [plan.condition]
+        )
+        equi = _extract_equi_keys(conjuncts, left_schema, right_schema)
+        if equi is not None:
+            left_keys, right_keys, residual_conjuncts = equi
+            residual = and_all(residual_conjuncts) if residual_conjuncts else None
+            return DeltaJoinOp(
+                left, right, left_keys, right_keys, residual, self._full_plan(plan), how=how
+            )
+        if how == "left":
+            # A keyless left join would probe every left row against the
+            # whole right side for the padding terms; not worth maintaining.
+            return None
+        # Non-equi inner condition (e.g. the Figure-2 band join): maintain it
+        # as a keyless join with the condition as residual.  Per-refresh cost
+        # is O(|Δ| · |other side|), bounded by the view's churn guard — and
+        # zero when nothing moved, which is the case the tick loop cares
+        # about.
+        return DeltaJoinOp(
+            left, right, [], [], plan.condition, self._full_plan(plan), how=how
+        )
+
+    def _build_aggregate(self, plan: Aggregate) -> DeltaOperator | None:
+        if any(spec.func not in MAINTAINABLE_AGGS for spec in plan.aggregates):
+            return None
+        child = self._build(plan.child)
+        if child is None:
+            return None
+        try:
+            child_schema = plan.child.output_schema(self.catalog)
+            indices = [child_schema.index_of(g) for g in plan.group_by]
+        except SchemaError:
+            return None
+        return DeltaAggregateOp(child, plan.group_by, indices, plan.aggregates)
+
+    def _full_plan(self, plan: LogicalPlan):
+        return self.physical_planner.lower(plan)

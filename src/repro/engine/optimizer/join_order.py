@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Sequence
 
 from repro.engine.algebra import Join, LogicalPlan, Select
 from repro.engine.catalog import Catalog

@@ -89,6 +89,19 @@ class Planner:
         estimated = self.cost_model.cost(optimized)
         return PlannedQuery(logical, optimized, physical, estimated)
 
+    def build_incremental(self, optimized: LogicalPlan):
+        """Lower *optimized* to a delta-maintained view, or ``None``.
+
+        Returns an :class:`~repro.engine.operators.incremental.IncrementalView`
+        when every node of the plan is provably delta-correct (see
+        :mod:`repro.engine.optimizer.incremental` for the fallback rules).
+        """
+        from repro.engine.optimizer.incremental import IncrementalPlanner
+
+        return IncrementalPlanner(self.catalog, self.physical_planner).build_view(
+            optimized
+        )
+
     def estimate(self, logical: LogicalPlan) -> PlanCost:
         """Cost a logical plan without lowering it (used by adaptive search)."""
         return self.cost_model.cost(logical)

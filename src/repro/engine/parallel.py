@@ -21,12 +21,12 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Any
 
 from repro.engine.algebra import LogicalPlan, Select, TableScan
 from repro.engine.catalog import Catalog
 from repro.engine.errors import ExecutionError
-from repro.engine.expressions import BinaryOp, ColumnRef, FunctionCall, Literal
+from repro.engine.expressions import BinaryOp, ColumnRef, Literal
 from repro.engine.optimizer.planner import Planner
 
 __all__ = ["PartitionedExecutor", "ParallelResult", "partition_plan"]

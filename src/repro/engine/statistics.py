@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Mapping, Sequence
+from typing import Any, Sequence
 
 from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, UnaryOp
 

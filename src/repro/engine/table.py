@@ -4,8 +4,8 @@ Tables are the engine's storage layer.  Each table stores rows as plain
 dicts keyed by an engine-assigned *row id*; secondary indexes register with
 the table and are kept consistent on every insert, update and delete.
 
-Two features exist specifically for the state-effect execution model of the
-paper (Section 2):
+Three features exist specifically for the state-effect execution model of
+the paper (Section 2):
 
 * :meth:`Table.freeze` / :meth:`Table.thaw` — during the query and effect
   steps of a tick the state tables are read-only; the tick engine freezes
@@ -14,10 +14,15 @@ paper (Section 2):
   snapshots used by the debugger's resumable checkpoints (Section 3.3) and
   by the transaction engine when it needs to evaluate candidate subsets of
   atomic actions (Section 3.1).
+* :meth:`Table.enable_change_log` / :meth:`Table.changes_since` — a bounded
+  per-mutation change log that lets the incremental execution path
+  (:mod:`repro.engine.operators.incremental`) maintain materialized query
+  results from per-tick deltas instead of re-scanning the table.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 from repro.engine.errors import CatalogError, ExecutionError, SchemaError
@@ -30,13 +35,16 @@ __all__ = ["Table", "RowId"]
 
 RowId = int
 
+#: Sentinel marking "row did not exist before this log entry" (an insert).
+_NOT_PRESENT = object()
+
 
 class Table:
     """A named, schema-validated, memory-resident relation."""
 
     def __init__(self, name: str, schema: Schema, key: str | None = None):
         self.name = name
-        self.schema = schema
+        self._schema = schema
         self.key = key
         if key is not None and key not in schema:
             raise SchemaError(f"key column {key!r} not in schema of table {name!r}")
@@ -47,6 +55,15 @@ class Table:
         self._frozen = False
         self._version = 0
         self._batch_cache: "tuple[int, ColumnBatch] | None" = None
+        # Change log for incremental execution: entries are
+        # ``(version, rowid, old)`` where ``old`` is the row *before* the
+        # mutation (a copy) or ``_NOT_PRESENT`` for inserts.  ``None`` until
+        # a consumer calls :meth:`enable_change_log`.
+        self._change_log: "deque[tuple[int, RowId, Any]] | None" = None
+        self._change_log_capacity = 0
+        #: Oldest version a delta can be served from; ``changes_since`` with
+        #: an older base version returns ``None`` (caller must rescan).
+        self._log_floor = 0
 
     # -- introspection ------------------------------------------------------------
 
@@ -60,6 +77,27 @@ class Table:
     def version(self) -> int:
         """A counter bumped on every mutation; used for plan-cache invalidation."""
         return self._version
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @schema.setter
+    def schema(self, new_schema: Schema) -> None:
+        """Replace the table's schema (a schema-altering operation).
+
+        Subject to :meth:`freeze` like any other mutation.  Bumps the
+        version and drops the columnar snapshot so :meth:`to_batch` can
+        never serve a stale column list, and resets the change log (a delta
+        computed across a schema change would mix row shapes).
+        """
+        if new_schema is self._schema:
+            return
+        self._check_writable()
+        self._schema = new_schema
+        self._version += 1
+        self._batch_cache = None
+        self._reset_change_log()
 
     @property
     def frozen(self) -> bool:
@@ -144,6 +182,111 @@ class Table:
         resolved = self.schema.resolve(name)
         return [row[resolved] for row in self._rows.values()]
 
+    # -- change log (incremental execution) ----------------------------------------
+
+    def enable_change_log(self, capacity: int | None = None) -> None:
+        """Start recording per-mutation deltas for :meth:`changes_since`.
+
+        ``capacity`` bounds the log (oldest entries are dropped and the
+        serviceable floor advances); the default is generous enough to cover
+        one tick of full-table churn.  Enabling is idempotent; a repeated
+        call may only grow the capacity, never shrink it.
+        """
+        wanted = capacity if capacity is not None else max(4096, 4 * len(self._rows))
+        if self._change_log is None:
+            self._change_log = deque()
+            self._change_log_capacity = wanted
+            self._log_floor = self._version
+        elif wanted > self._change_log_capacity:
+            self._change_log_capacity = wanted
+
+    @property
+    def change_log_enabled(self) -> bool:
+        return self._change_log is not None
+
+    def _log_change(self, rowid: RowId, old: Any) -> None:
+        log = self._change_log
+        if log is None:
+            return
+        log.append((self._version, rowid, old))
+        if len(log) > self._change_log_capacity:
+            dropped_version, _, _ = log.popleft()
+            self._log_floor = dropped_version
+
+    def _reset_change_log(self) -> None:
+        """Discard the log after a bulk rewrite (clear/restore/schema change).
+
+        The floor moves to the current version, so deltas based on any older
+        version report "unavailable" and consumers fall back to a full scan.
+        """
+        if self._change_log is not None:
+            self._change_log.clear()
+            self._log_floor = self._version
+
+    def changes_since(
+        self, version: int
+    ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]] | None:
+        """Net row changes between *version* and now, or ``None`` if unknown.
+
+        Returns ``(added, removed)``: rows present now but not at *version*,
+        and rows present at *version* but gone (or changed) now — an updated
+        row appears in both lists (old values in ``removed``, new values in
+        ``added``).  ``added`` entries are shared references to the stored
+        rows and must be treated as read-only; ``removed`` entries are the
+        retained pre-mutation copies.
+
+        ``None`` means the log cannot answer (logging disabled, the log was
+        truncated past *version*, or a bulk rewrite happened); the caller
+        must fall back to a full rescan.
+        """
+        if version == self._version:
+            return [], []
+        if self._change_log is None or version < self._log_floor or version > self._version:
+            return None
+        # Entries are version-ordered; collect the suffix newer than *version*.
+        suffix: list[tuple[int, RowId, Any]] = []
+        for entry in reversed(self._change_log):
+            if entry[0] <= version:
+                break
+            suffix.append(entry)
+        suffix.reverse()
+        # The first entry for a rowid in the suffix holds its state as of
+        # *version*; its current state comes from the live row store.
+        first_old: dict[RowId, Any] = {}
+        for _, rowid, old in suffix:
+            if rowid not in first_old:
+                first_old[rowid] = old
+        added: list[dict[str, Any]] = []
+        removed: list[dict[str, Any]] = []
+        for rowid, old in first_old.items():
+            current = self._rows.get(rowid)
+            if old is not _NOT_PRESENT:
+                if old == current:
+                    # No-op update (same values written back): not a change.
+                    continue
+                removed.append(old)
+            if current is not None:
+                added.append(current)
+        return added, removed
+
+    def changes_pending(self, version: int) -> int | None:
+        """Number of logged mutations newer than *version*, or ``None``.
+
+        A cheap probe of the log's serviceability (tests and tooling; the
+        incremental view itself decides churn from the *netted*
+        :meth:`changes_since` result, which this count upper-bounds).
+        """
+        if version == self._version:
+            return 0
+        if self._change_log is None or version < self._log_floor or version > self._version:
+            return None
+        count = 0
+        for entry in reversed(self._change_log):
+            if entry[0] <= version:
+                break
+            count += 1
+        return count
+
     # -- mutation -----------------------------------------------------------------
 
     def _check_writable(self) -> None:
@@ -171,6 +314,7 @@ class Table:
         for index in self._indexes.values():
             index.on_insert(rowid, row)
         self._version += 1
+        self._log_change(rowid, _NOT_PRESENT)
         return rowid
 
     def insert_many(self, rows: Iterable[Mapping[str, Any]]) -> list[RowId]:
@@ -204,6 +348,7 @@ class Table:
         for index in self._indexes.values():
             index.on_update(rowid, old, row)
         self._version += 1
+        self._log_change(rowid, old)
 
     def update_by_key(self, key_value: Any, changes: Mapping[str, Any]) -> None:
         rowid = self.rowid_for_key(key_value)
@@ -222,6 +367,7 @@ class Table:
         for index in self._indexes.values():
             index.on_delete(rowid, row)
         self._version += 1
+        self._log_change(rowid, row)
 
     def delete_where(self, predicate: Callable[[Mapping[str, Any]], bool]) -> int:
         """Delete all rows matching *predicate*; return how many were removed.
@@ -242,6 +388,7 @@ class Table:
         for index in self._indexes.values():
             index.rebuild(self)
         self._version += 1
+        self._reset_change_log()
 
     # -- freeze / snapshot --------------------------------------------------------
 
@@ -271,6 +418,7 @@ class Table:
         for index in self._indexes.values():
             index.rebuild(self)
         self._version += 1
+        self._reset_change_log()
         self._frozen = was_frozen
 
     # -- index registration ---------------------------------------------------------

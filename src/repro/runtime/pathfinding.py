@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Iterable, Mapping
 
 from repro.runtime.effects import CombinedEffects
 from repro.runtime.updates import StateUpdate, UpdateComponent, WorldStateView

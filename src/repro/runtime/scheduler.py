@@ -10,7 +10,7 @@ interrupt a multi-tick behaviour and restart it — the paper's
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.runtime.effects import CombinedEffects

@@ -47,7 +47,7 @@ from repro.sgl.ir import ACTOR_COLUMN, EffectAssignment, TARGET_COLUMN, Transact
 from repro.sgl.multitick import pc_variable_name, segment_script
 from repro.sgl.parser import parse_program
 from repro.sgl.schema_gen import KEY_COLUMN, GeneratedSchema, SchemaGenerator, SchemaLayout
-from repro.sgl.semantics import AnalyzedProgram, analyze_program
+from repro.sgl.semantics import COMBINATOR_ALIASES, AnalyzedProgram, analyze_program
 
 __all__ = ["ExecutionMode", "TickReport", "GameWorld"]
 
@@ -91,6 +91,7 @@ class GameWorld:
         optimize: bool = True,
         use_indexes: bool = True,
         use_batch: bool = True,
+        use_incremental: bool = True,
     ):
         self.program = parse_program(source) if isinstance(source, str) else source
         self.analyzed: AnalyzedProgram = analyze_program(self.program)
@@ -106,8 +107,14 @@ class GameWorld:
         self._register_schemas()
 
         self.executor = Executor(
-            self.catalog, optimize=optimize, use_indexes=use_indexes, use_batch=use_batch
+            self.catalog,
+            optimize=optimize,
+            use_indexes=use_indexes,
+            use_batch=use_batch,
+            use_incremental=use_incremental,
         )
+        #: Compiled queries already offered to the incremental planner.
+        self._incremental_considered: set[int] = set()
         self.interpreter = ScriptInterpreter(self.analyzed)
         self.compiler = SGLCompiler(self.analyzed, self.schemas, self.schema_generator)
         self._compiled: CompiledProgram | None = None
@@ -378,6 +385,38 @@ class GameWorld:
 
     # -- effect-step strategies ---------------------------------------------------------------------
 
+    #: Effect combinators whose combined value depends on assignment order.
+    #: Queries feeding them must see full-execution row order, so they are
+    #: never registered for incremental (multiset-maintained) execution.
+    _ORDER_SENSITIVE_COMBINATORS = frozenset({"first", "last", "collect"})
+
+    def _maybe_register_incremental(self, query: Any) -> None:
+        """Offer one compiled effect query to the incremental planner.
+
+        Registration is per-query and sticky.  Transactional queries are
+        skipped (the transaction engine observes row order when resolving
+        conflicts), as are queries whose target effect combines with an
+        order-sensitive combinator; everything else is handed to
+        :meth:`Executor.register_incremental`, which itself declines plans
+        it cannot prove delta-correct.
+        """
+        key = id(query)
+        if key in self._incremental_considered:
+            return
+        self._incremental_considered.add(key)
+        if query.transactional:
+            return
+        if not query.set_insert:  # a set-insert always combines with union
+            decl = next(
+                (d for d in self.program.classes if d.name == query.target_class), None
+            )
+            effect = decl.effect_field(query.effect) if decl is not None else None
+            if effect is not None:
+                combinator = COMBINATOR_ALIASES.get(effect.combinator, effect.combinator)
+                if combinator in self._ORDER_SENSITIVE_COMBINATORS:
+                    return
+        self.executor.register_incremental(query.plan)
+
     def _run_compiled(
         self, store: EffectStore, transactions: list[TransactionRequest]
     ) -> None:
@@ -388,6 +427,7 @@ class GameWorld:
             compiled = self.compiled.script(script_name)
             for segment_index in sorted(compiled.queries_by_segment):
                 for query in compiled.queries_by_segment[segment_index]:
+                    self._maybe_register_incremental(query)
                     result = self.executor.execute(query.plan)
                     for row in result.rows:
                         assignment = EffectAssignment(

@@ -11,7 +11,6 @@ and aggregation happens through declared combinators and accum-loops
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 __all__ = [
     # program structure

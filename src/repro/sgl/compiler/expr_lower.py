@@ -17,7 +17,6 @@ means at the current program point:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
 
 from repro.engine.expressions import (
     BinaryOp,

@@ -36,7 +36,7 @@ from typing import Sequence
 
 from repro.engine.aggregates import make_accumulator
 from repro.engine.algebra import Aggregate, AggregateSpec, Join, LogicalPlan, Project, Select, Union
-from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, UnaryOp, and_all
+from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, UnaryOp
 from repro.sgl.ast_nodes import (
     AccumLoop,
     AtomicBlock,

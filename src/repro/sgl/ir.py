@@ -21,7 +21,7 @@ relative performance) meaningful.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.engine.algebra import LogicalPlan

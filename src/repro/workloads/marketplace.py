@@ -60,6 +60,7 @@ def build_marketplace_world(
     mode: ExecutionMode = ExecutionMode.INTERPRETED,
     seed: int = 11,
     use_batch: bool = True,
+    use_incremental: bool = True,
 ) -> GameWorld:
     """A marketplace with ``n_buyers`` buyers contending over shared sellers.
 
@@ -67,7 +68,9 @@ def build_marketplace_world(
     ``seller_stock`` items — so at most ``seller_stock`` of them can succeed
     per seller before the ``stock >= 0`` constraint aborts the rest.
     """
-    world = GameWorld(MARKET_SOURCE, mode=mode, use_batch=use_batch)
+    world = GameWorld(
+        MARKET_SOURCE, mode=mode, use_batch=use_batch, use_incremental=use_incremental
+    )
     engine = TransactionEngine(
         owned={"Trader": {"gold_delta": "gold", "stock_delta": "stock"}},
         classes={decl.name: decl for decl in world.program.classes},

@@ -93,6 +93,7 @@ def build_rts_world(
     optimize: bool = True,
     use_indexes: bool = True,
     use_batch: bool = True,
+    use_incremental: bool = True,
 ) -> GameWorld:
     """Build a ready-to-tick RTS world with *n_units* units."""
     world = GameWorld(
@@ -102,6 +103,7 @@ def build_rts_world(
         optimize=optimize,
         use_indexes=use_indexes,
         use_batch=use_batch,
+        use_incremental=use_incremental,
     )
     world.add_update_rule(
         "Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0)

@@ -17,7 +17,6 @@ them beats either plan run unconditionally.
 from __future__ import annotations
 
 import random
-from typing import Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.schema import Column, Schema

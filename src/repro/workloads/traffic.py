@@ -83,9 +83,12 @@ def build_traffic_world(
     road_length: float = 1000.0,
     seed: int = 23,
     use_batch: bool = True,
+    use_incremental: bool = True,
 ) -> GameWorld:
     """A ring-road traffic world; positions wrap around at ``road_length``."""
-    world = GameWorld(TRAFFIC_SOURCE, mode=mode, use_batch=use_batch)
+    world = GameWorld(
+        TRAFFIC_SOURCE, mode=mode, use_batch=use_batch, use_incremental=use_incremental
+    )
     world.add_update_rule(
         "Vehicle",
         "velocity",

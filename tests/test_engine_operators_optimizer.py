@@ -29,7 +29,7 @@ from repro.engine import (
 )
 from repro.engine.aggregates import combine_values, make_accumulator
 from repro.engine.algebra import explain
-from repro.engine.indexes import GridIndex, SortedIndex
+from repro.engine.indexes import SortedIndex
 from repro.engine.operators import (
     BandJoinOp,
     FilterOp,
@@ -41,7 +41,7 @@ from repro.engine.operators import (
 )
 from repro.engine.optimizer.cost import CostModel
 from repro.engine.optimizer.join_order import extract_join_graph, reorder_joins
-from repro.engine.optimizer.rules import apply_standard_rewrites, push_down_selections, split_conjunctions
+from repro.engine.optimizer.rules import apply_standard_rewrites, split_conjunctions
 
 
 class TestAggregates:

@@ -10,7 +10,7 @@ from hypothesis import given, settings, strategies as st
 from repro.engine import Catalog, Column, DataType, Schema, Table
 from repro.engine.errors import CatalogError, ExecutionError
 from repro.engine.indexes import GridIndex, HashIndex, KdTreeIndex, RangeTreeIndex, SortedIndex
-from repro.engine.statistics import collect_table_statistics, estimate_selectivity
+from repro.engine.statistics import estimate_selectivity
 from repro.engine.expressions import col, lit
 
 
@@ -92,6 +92,95 @@ class TestTable:
         row = next(table.scan())
         row["x"] = 42
         assert table.get_by_key(1)["x"] == 1
+
+    def test_to_batch_invalidated_on_schema_change(self):
+        """Regression: replacing the schema must drop the columnar snapshot
+        (previously the cache was keyed on version only and the version did
+        not move, so a stale column list could be served)."""
+        table = make_table()
+        table.insert({"id": 1, "x": 2, "y": 3, "team": 0})
+        before = table.to_batch()
+        assert "hp" not in before.names
+        version_before = table.version
+        table.schema = table.schema.add(Column("hp", DataType.NUMBER))
+        assert table.version > version_before
+        after = table.to_batch()
+        assert "hp" in after.names
+        assert after.column("hp") == [None]
+        # Same-object assignment stays a no-op.
+        version = table.version
+        table.schema = table.schema
+        assert table.version == version
+        # Schema replacement is a mutation: frozen tables refuse it.
+        table.freeze()
+        with pytest.raises(ExecutionError):
+            table.schema = table.schema.add(Column("mp", DataType.NUMBER))
+        table.thaw()
+
+
+class TestChangeLog:
+    def test_disabled_by_default(self):
+        table = make_table()
+        v0 = table.version
+        table.insert({"id": 1})
+        assert table.changes_since(v0) is None
+        assert table.changes_since(table.version) == ([], [])
+
+    def test_insert_update_delete_consolidation(self):
+        table = make_table()
+        table.enable_change_log()
+        v0 = table.version
+        rid = table.insert({"id": 1, "x": 5})
+        table.update(rid, {"x": 7})
+        # Insert + update consolidates to one added row with final values.
+        added, removed = table.changes_since(v0)
+        assert [r["x"] for r in added] == [7] and removed == []
+        # From a later base version, an update shows old and new values.
+        v1 = table.version
+        table.update(rid, {"x": 9})
+        added, removed = table.changes_since(v1)
+        assert [r["x"] for r in added] == [9]
+        assert [r["x"] for r in removed] == [7]
+        # Insert followed by delete nets to nothing.
+        v2 = table.version
+        rid2 = table.insert({"id": 2})
+        table.delete(rid2)
+        assert table.changes_since(v2) == ([], [])
+
+    def test_noop_update_nets_out(self):
+        table = make_table()
+        table.enable_change_log()
+        rid = table.insert({"id": 1, "x": 5})
+        v = table.version
+        table.update(rid, {"x": 5})
+        assert table.version > v  # version still moves...
+        assert table.changes_since(v) == ([], [])  # ...but the delta is empty
+
+    def test_truncation_and_bulk_resets(self):
+        table = make_table()
+        table.enable_change_log(capacity=4)
+        v0 = table.version
+        rids = [table.insert({"id": i}) for i in range(6)]
+        assert table.changes_since(v0) is None  # log overflowed
+        v1 = table.version
+        table.delete(rids[0])
+        assert table.changes_since(v1) is not None
+        table.clear()
+        assert table.changes_since(v1) is None  # bulk rewrite resets the log
+        v2 = table.version
+        table.insert({"id": 9})
+        snapshot = table.snapshot()
+        table.restore(snapshot)
+        assert table.changes_since(v2) is None  # restore resets the log too
+
+    def test_changes_pending(self):
+        table = make_table()
+        table.enable_change_log()
+        v0 = table.version
+        assert table.changes_pending(v0) == 0
+        table.insert({"id": 1})
+        table.insert({"id": 2})
+        assert table.changes_pending(v0) == 2
 
 
 class TestIndexMaintenance:
