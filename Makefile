@@ -1,12 +1,13 @@
 # Development entry points.  Each target mirrors a CI job exactly:
 # `make check` = the test job, `make lint` = the lint job,
 # `make bench-incremental` = the incremental speedup gate,
+# `make bench-index` = the index-join speedup gate,
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-ci
+.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-index bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -34,6 +35,10 @@ bench-columnar:
 ## Incremental-vs-batch/row benchmarks incl. the >=3x low-churn gate.
 bench-incremental:
 	$(PYTHON) -m pytest benchmarks/bench_incremental.py -q -s
+
+## Index-join-vs-grid-rebuild benchmarks incl. the >=3x gate.
+bench-index:
+	$(PYTHON) -m pytest benchmarks/bench_index_join.py -q -s
 
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:

@@ -7,7 +7,10 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
 * the shared low-churn incremental scenario
   (``benchmarks/incremental_scenario.py``) timed on all three execution
   paths, yielding the incremental-vs-batch and incremental-vs-row
-  speedups, plus the batch-vs-row speedup of the hot tick query.
+  speedups, plus the batch-vs-row speedup of the hot tick query,
+* the shared moving-units band-join scenario
+  (``benchmarks/index_join_scenario.py``) timed on the persistent-index,
+  grid-rebuild and row paths, yielding the index-join speedups.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -38,6 +41,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+import index_join_scenario  # noqa: E402
 from incremental_scenario import (  # noqa: E402
     CHURN_FRACTION,
     SEED,
@@ -58,6 +62,8 @@ GATED_METRICS = {
     "incremental.speedup_vs_batch": "incremental path vs batch path",
     "incremental.speedup_vs_row": "incremental path vs row path",
     "incremental.batch_speedup_vs_row": "batch path vs row path",
+    "index_join.speedup_vs_rebuild": "index-probing band join vs per-tick grid rebuild",
+    "index_join.speedup_vs_row": "index-probing band join vs row path",
 }
 
 
@@ -116,11 +122,43 @@ def bench_incremental(ticks: int = 30) -> dict:
     }
 
 
+def bench_index_join(ticks: int = 30) -> dict:
+    catalog, units, scouts = index_join_scenario.build_band_catalog()
+    plan = index_join_scenario.band_join_query()
+    paths = {
+        "indexed": Executor(catalog, use_incremental=False),
+        "rebuild": Executor(catalog, use_indexes=False, use_incremental=False),
+        "row": Executor(catalog, use_indexes=False, use_batch=False, use_incremental=False),
+    }
+    for executor in paths.values():
+        executor.execute(plan)
+    rng = random.Random(index_join_scenario.SEED)
+    totals = dict.fromkeys(paths, 0.0)
+    for tick in range(ticks):
+        index_join_scenario.churn_step(units, scouts, rng, tick)
+        for name, executor in paths.items():
+            start = time.perf_counter()
+            executor.execute(plan)
+            totals[name] += time.perf_counter() - start
+    return {
+        "ticks": ticks,
+        "units": len(units),
+        "scouts": len(scouts),
+        "churn_fraction": index_join_scenario.CHURN_FRACTION,
+        "indexed_seconds": round(totals["indexed"], 6),
+        "rebuild_seconds": round(totals["rebuild"], 6),
+        "row_seconds": round(totals["row"], 6),
+        "speedup_vs_rebuild": round(totals["rebuild"] / totals["indexed"], 3),
+        "speedup_vs_row": round(totals["row"] / totals["indexed"], 3),
+    }
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
         "workloads": bench_workloads(),
         "incremental": bench_incremental(),
+        "index_join": bench_index_join(),
     }
 
 

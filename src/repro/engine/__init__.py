@@ -53,7 +53,7 @@ from repro.engine.expressions import (
     lit,
     var,
 )
-from repro.engine.optimizer import AdaptiveQueryManager, ExecutionFeedback, Planner
+from repro.engine.optimizer import AdaptiveQueryManager, ExecutionFeedback, IndexAdvisor, Planner
 from repro.engine.parallel import ParallelResult, PartitionedExecutor
 from repro.engine.schema import Column, Schema
 from repro.engine.table import Table
@@ -106,6 +106,7 @@ __all__ = [
     "var",
     "AdaptiveQueryManager",
     "ExecutionFeedback",
+    "IndexAdvisor",
     "Planner",
     "ParallelResult",
     "PartitionedExecutor",

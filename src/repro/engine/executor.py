@@ -30,7 +30,7 @@ from typing import Any
 
 from repro.engine.algebra import LogicalPlan
 from repro.engine.catalog import Catalog
-from repro.engine.errors import ExecutionError
+from repro.engine.errors import EngineError, ExecutionError
 from repro.engine.operators import IncrementalView, PhysicalOperator
 from repro.engine.optimizer.planner import PlannedQuery, Planner
 
@@ -91,10 +91,16 @@ class Executor:
         use_indexes: bool = True,
         use_batch: bool = True,
         use_incremental: bool = True,
+        index_advisor=None,
     ):
         self.catalog = catalog
+        self.index_advisor = index_advisor
         self.planner = Planner(
-            catalog, optimize=optimize, use_indexes=use_indexes, use_batch=use_batch
+            catalog,
+            optimize=optimize,
+            use_indexes=use_indexes,
+            use_batch=use_batch,
+            index_advisor=index_advisor,
         )
         self.use_incremental = use_incremental
         self._cache: dict[int, _CachedPlan] = {}
@@ -120,6 +126,16 @@ class Executor:
         else:
             self._cache.pop(id(plan), None)
             self._incremental.pop(id(plan), None)
+
+    def invalidate_plans(self) -> None:
+        """Drop cached physical plans, keeping incremental registrations.
+
+        Used after the catalog *shape* changed — e.g. the index advisor
+        created or evicted an index — so the next ``execute`` replans
+        against the new shape.  Incremental views stay: they are keyed by
+        table versions, not plans, and re-find indexes lazily per refresh.
+        """
+        self._cache.clear()
 
     # -- incremental registration ----------------------------------------------------
 
@@ -163,8 +179,9 @@ class Executor:
             start = time.perf_counter()
             try:
                 rows = view.refresh()
-            except ExecutionError:
-                # Defensive: a view that cannot even full-rebuild is dropped
+            except EngineError:
+                # Defensive: a view that cannot even full-rebuild — including
+                # catalog-shape casualties like a dropped index — is dropped
                 # for good; the query falls through to the physical plan.
                 self._incremental.pop(id(plan), None)
             else:

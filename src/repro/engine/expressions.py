@@ -375,6 +375,26 @@ def _distance(x1: Any, y1: Any, x2: Any, y2: Any) -> float:
     return math.hypot(x2 - x1, y2 - y1)
 
 
+def _bucket(value: Any, n: Any) -> int:
+    """Total hash routing: which of *n* buckets *value* belongs to.
+
+    Total means *every* value maps to exactly one bucket — ``None`` goes to
+    bucket 0 and unhashable values hash their repr — which is what the
+    parallel executor's partition predicates require: a partial routing
+    function silently drops rows from the union of the partitions.
+    """
+    if value is None:
+        return 0
+    try:
+        return hash(value) % int(n)
+    except TypeError:
+        return hash(repr(value)) % int(n)
+
+
+#: Functions evaluated even when an argument is ``None`` (everything else
+#: null-propagates).  ``bucket`` must be total — see :func:`_bucket`.
+_NULL_TOLERANT_FUNCTIONS = ("size", "contains", "bucket")
+
 _FUNCTIONS: dict[str, Callable[..., Any]] = {
     "sqrt": math.sqrt,
     "floor": math.floor,
@@ -392,6 +412,7 @@ _FUNCTIONS: dict[str, Callable[..., Any]] = {
     "atan2": math.atan2,
     "cos": math.cos,
     "sin": math.sin,
+    "bucket": _bucket,
 }
 
 
@@ -408,7 +429,7 @@ class FunctionCall(Expression):
 
     def evaluate(self, row: Mapping[str, Any], context: Mapping[str, Any] | None = None) -> Any:
         values = [a.evaluate(row, context) for a in self.args]
-        if any(v is None for v in values) and self.name not in ("size", "contains"):
+        if any(v is None for v in values) and self.name not in _NULL_TOLERANT_FUNCTIONS:
             return None
         try:
             return _FUNCTIONS[self.name](*values)
@@ -685,7 +706,7 @@ def compile_batch(
     if isinstance(expr, FunctionCall):
         compiled_args = [compile_batch(a, columns, context) for a in expr.args]
         fn = _FUNCTIONS[expr.name]
-        null_passthrough = expr.name not in ("size", "contains")
+        null_passthrough = expr.name not in _NULL_TOLERANT_FUNCTIONS
         name = expr.name
 
         def call(i: int) -> Any:

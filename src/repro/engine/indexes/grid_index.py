@@ -91,7 +91,10 @@ class GridIndex(TableIndex):
             return
         lows, highs = [], []
         for dim, (low, high) in enumerate(bounds):
-            dim_cells = [cell[dim] for cell in self._cells]
+            if low is None or high is None:
+                # Only unbounded sides need the occupied extent; computing
+                # it eagerly costs O(cells) per dimension per probe.
+                dim_cells = [cell[dim] for cell in self._cells]
             low_cell = int(float(low) // self.cell_size) if low is not None else min(dim_cells)
             high_cell = int(float(high) // self.cell_size) if high is not None else max(dim_cells)
             lows.append(low_cell)

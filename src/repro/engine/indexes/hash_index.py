@@ -17,6 +17,9 @@ class HashIndex(TableIndex):
     indexes require a tuple in column order.
     """
 
+    #: ``range_search`` below is a linear bucket scan, not sub-linear.
+    range_capable = False
+
     def __init__(self, columns: Sequence[str]):
         self.columns = tuple(columns)
         self._buckets: dict[tuple[Any, ...], set[RowId]] = defaultdict(set)

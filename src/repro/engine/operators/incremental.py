@@ -58,6 +58,7 @@ __all__ = [
     "DeltaValuesOp",
     "DeltaFilterOp",
     "DeltaProjectOp",
+    "BandIndexProbe",
     "DeltaJoinOp",
     "DeltaAggregateOp",
     "DeltaUnionOp",
@@ -360,6 +361,67 @@ class DeltaProjectOp(DeltaOperator):
         return f"DeltaProject({', '.join(name for name, _ in self.projections)})"
 
 
+class BandIndexProbe:
+    """Persistent-index probing for :class:`DeltaJoinOp`'s ``ΔA ⋈ Bnew`` term.
+
+    A keyless band join's delta rule joins each left-delta row against the
+    *entire* current right side — which :meth:`DeltaOperator.full_rows`
+    materializes with a full table scan, exactly the per-tick O(table) cost
+    the incremental path exists to avoid.  When the right side is a base
+    table with a registered range-capable index over the probe columns,
+    this spec probes that index per delta row instead: the unchanged side
+    is never rescanned, and per-refresh work drops to O(|Δ| · candidates).
+
+    The index is re-resolved on **every refresh** (:meth:`find_index`), so
+    indexes the advisor creates or evicts after the view was registered are
+    picked up without replanning.  Candidates may over-approximate (grid
+    cells, uncovered dimensions); the caller filters them through the full
+    join condition, so exactness never depends on the index.
+    """
+
+    def __init__(self, table: Table, dimensions: Sequence[tuple[str, Expression, Any]]):
+        self.table = table
+        #: ``(resolved right column, low expr, high expr)`` — exprs over left rows.
+        self.dimensions = list(dimensions)
+        #: Optional advisor hook ``(n_probes, width_sum, width_count)``.
+        self.advisor_hook = None
+        #: Delta rows joined through the index (introspection/tests).
+        self.index_probes = 0
+
+    def find_index(self):
+        """The best registered range-capable index over the probe columns
+        (:meth:`Table.find_index_covering`), re-resolved per refresh;
+        ``None`` keeps the hash fallback."""
+        covering = self.table.find_index_covering(
+            [column for column, _, _ in self.dimensions]
+        )
+        return None if covering is None else covering[1]
+
+    def bounds_of(self, left_row: Mapping[str, Any]) -> dict[str, tuple[float, float]] | None:
+        """Per-column probe bounds for one left row, or ``None`` when a
+        bound is null/inverted (the join condition cannot match then)."""
+        out: dict[str, tuple[float, float]] = {}
+        for column, low_expr, high_expr in self.dimensions:
+            low = low_expr.evaluate(left_row)
+            high = high_expr.evaluate(left_row)
+            if low is None or high is None or high < low:
+                return None
+            out[column] = (float(low), float(high))
+        return out
+
+    def candidates(
+        self, index, bounds: Mapping[str, tuple[float, float]], left_values: tuple
+    ) -> list[tuple]:
+        """Combined candidate rows for one probe (superset of the matches)."""
+        table = self.table
+        columns = table.schema.names
+        search = [bounds[c] for c in index.columns]
+        return [
+            left_values + tuple(row[c] for c in columns)
+            for row in map(table.get, index.range_search(search))
+        ]
+
+
 class DeltaJoinOp(DeltaOperator):
     """Incremental join via the bilinear delta rule.
 
@@ -378,7 +440,11 @@ class DeltaJoinOp(DeltaOperator):
     ``residual`` carries the whole join condition — this is how cross joins
     and the Figure-2 band-join shape are maintained; the per-refresh cost
     becomes O(|Δ| · |full side|), which the view's churn guard keeps below
-    the cost of a full re-execution.
+    the cost of a full re-execution.  For the band-join shape specifically,
+    a ``band_probe`` (:class:`BandIndexProbe`) built by the incremental
+    planner lets the ``ΔA ⋈ Bnew`` terms probe a persistent index on the
+    right base table instead of rescanning it — the unchanged side is then
+    never materialized at all.
 
     ``how="left"`` additionally maintains the null-padded rows of a left
     outer join.  The outer part is *non*-monotonic — an insert on the right
@@ -401,12 +467,14 @@ class DeltaJoinOp(DeltaOperator):
         residual: Expression | None,
         full_plan: PhysicalOperator | None = None,
         how: str = "inner",
+        band_probe: "BandIndexProbe | None" = None,
     ):
         super().__init__(tuple(left.names) + tuple(right.names), (left, right), full_plan)
         self.left_keys = list(left_keys)
         self.right_keys = list(right_keys)
         self.residual = residual
         self.how = how
+        self.band_probe = band_probe
         self._null_pad = (None,) * len(right.names)
         self._left_eval = _RowsEvaluator(left.names)
         self._right_eval = _RowsEvaluator(right.names)
@@ -501,6 +569,60 @@ class DeltaJoinOp(DeltaOperator):
                 table.setdefault(key, []).append(values)
         return table
 
+    def _band_bounds(
+        self, rows: Sequence[tuple]
+    ) -> tuple[list[tuple[tuple, dict[str, tuple[float, float]]]], int, float, int]:
+        """Evaluate band-probe bounds for delta rows.
+
+        Returns the usable ``(values, bounds)`` pairs plus the probe/width
+        statistics the advisor consumes — the one place those numbers are
+        computed, whether the refresh ends up on the index or the hash
+        fallback path.
+        """
+        probe = self.band_probe
+        left_names = self.children[0].names
+        pairs: list[tuple[tuple, dict[str, tuple[float, float]]]] = []
+        n_probes = 0
+        width_sum = 0.0
+        width_count = 0
+        for values in rows:
+            bounds = probe.bounds_of(dict(zip(left_names, values)))
+            if bounds is None:
+                continue
+            n_probes += 1
+            for low, high in bounds.values():
+                width_sum += high - low
+                width_count += 1
+            pairs.append((values, bounds))
+        return pairs, n_probes, width_sum, width_count
+
+    def _probe_band(self, index, rows: Sequence[tuple], out: list[tuple]) -> None:
+        """Join delta rows against the right side via its persistent index.
+
+        Candidates over-approximate (grid cells, uncovered dimensions);
+        :meth:`_surviving` applies the full join condition, so the result
+        is exactly what the hash path would have produced — without ever
+        materializing the unchanged right side.
+        """
+        probe = self.band_probe
+        pairs, n_probes, width_sum, width_count = self._band_bounds(rows)
+        for values, bounds in pairs:
+            candidates = probe.candidates(index, bounds, values)
+            if candidates:
+                out.extend(self._surviving(candidates))
+        probe.index_probes += n_probes
+        if probe.advisor_hook is not None:
+            probe.advisor_hook(n_probes, width_sum, width_count)
+
+    def _record_band_activity(self, dl: DeltaBatch) -> None:
+        """Report hash-fallback band probes to the index advisor, so a
+        band join that stays hot gets an index even when it is only ever
+        maintained incrementally."""
+        _, n_probes, width_sum, width_count = self._band_bounds(
+            list(dl.added) + list(dl.removed)
+        )
+        self.band_probe.advisor_hook(n_probes, width_sum, width_count)
+
     def _count_matches(
         self, values: tuple, key: tuple | None, build: Mapping[tuple, list[tuple]]
     ) -> int:
@@ -533,8 +655,19 @@ class DeltaJoinOp(DeltaOperator):
         dr_add_hash = self._hash(dr.added, dr_add_keys)
         dr_rem_hash = self._hash(dr.removed, dr_rem_keys)
 
+        band_index = None
+        if (
+            self.band_probe is not None
+            and not self.left_keys
+            and self.how == "inner"
+            and not dl.is_empty()
+        ):
+            band_index = self.band_probe.find_index()
+
         b_hash: dict[tuple, list[tuple]] | None = None
-        if not dl.is_empty() or (self.how == "left" and not dr.is_empty()):
+        if band_index is None and (
+            not dl.is_empty() or (self.how == "left" and not dr.is_empty())
+        ):
             b_rows = right.full_rows()
             b_hash = self._hash(b_rows, self._right_keys_of(b_rows))
         a_rows: list[tuple] | None = None
@@ -545,8 +678,19 @@ class DeltaJoinOp(DeltaOperator):
 
         # ΔA ⋈ Bnew
         if not dl.is_empty():
-            self._probe(dl.added, dl_add_keys, b_hash, added)
-            self._probe(dl.removed, dl_rem_keys, b_hash, removed)
+            if band_index is not None:
+                self._probe_band(band_index, dl.added, added)
+                self._probe_band(band_index, dl.removed, removed)
+            else:
+                self._probe(dl.added, dl_add_keys, b_hash, added)
+                self._probe(dl.removed, dl_rem_keys, b_hash, removed)
+                if (
+                    self.band_probe is not None
+                    and self.band_probe.advisor_hook is not None
+                    and not self.left_keys
+                    and self.how == "inner"
+                ):
+                    self._record_band_activity(dl)
         # Anew ⋈ ΔB
         if not dr.is_empty():
             self._probe(a_rows, a_keys, dr_add_hash, added)

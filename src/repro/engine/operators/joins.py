@@ -17,11 +17,14 @@ small cross products in effect computation.  The planner chooses between:
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Any, Callable, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Sequence
 
 from repro.engine.expressions import Expression
 from repro.engine.operators.base import PhysicalOperator
 from repro.engine.schema import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.engine.table import Table
 
 __all__ = [
     "NestedLoopJoinOp",
@@ -29,6 +32,7 @@ __all__ = [
     "IndexNestedLoopJoinOp",
     "BandJoinOp",
     "CrossJoinOp",
+    "IndexProbeJoinOp",
 ]
 
 
@@ -258,6 +262,12 @@ class RangeProbeJoinOp(PhysicalOperator):
     uniform grid whose cell size is estimated from a sample of probe widths,
     so each probe touches only nearby cells.  The full join condition is
     re-checked as a residual predicate.
+
+    Two guards keep degenerate probe distributions from blowing up the cell
+    enumeration: zero-width probes (equality lookups) are excluded from the
+    cell-size sample, and a probe whose bounding box spans more cells than
+    the grid has *occupied* falls back to scanning the occupied cells — so
+    one very wide probe costs O(populated cells), never O(width/cell_size).
     """
 
     def __init__(
@@ -271,22 +281,33 @@ class RangeProbeJoinOp(PhysicalOperator):
         super().__init__(schema, (left, right))
         self.dimensions = list(dimensions)
         self.residual = residual
+        #: Optional callable ``(n_probes, width_sum, width_count)`` invoked
+        #: after each execution; the index advisor uses it to spot band
+        #: joins that stay hot across ticks (see optimizer/adaptive.py).
+        self.stats_hook: Callable[[int, float, int], None] | None = None
 
     def _produce(self) -> Iterator[dict[str, Any]]:
         left_rows = self.children[0].rows()
         right_rows = self.children[1].rows()
         if not left_rows or not right_rows:
+            # No probes actually executed; report zero so an always-empty
+            # join never accumulates advisor heat.
+            if self.stats_hook is not None:
+                self.stats_hook(0, 0.0, 0)
             return
         dims = self.dimensions
         # Estimate a cell size from the average probe width over a sample.
+        # Zero-width probes (exact lookups) are excluded: averaging them in
+        # shrinks the cell size toward zero, and a single later wide probe
+        # would then enumerate ~width/cell_size cells.
         widths: list[float] = []
         for row in left_rows[: min(len(left_rows), 32)]:
             for _, low_expr, high_expr in dims:
                 low = low_expr.evaluate(row)
                 high = high_expr.evaluate(row)
-                if low is not None and high is not None and high >= low:
+                if low is not None and high is not None and high > low:
                     widths.append(float(high) - float(low))
-        cell_size = max(1e-9, (sum(widths) / len(widths)) if widths else 1.0)
+        cell_size = (sum(widths) / len(widths)) if widths else 1.0
 
         def cell_of(coords: Sequence[float]) -> tuple[int, ...]:
             return tuple(int(c // cell_size) for c in coords)
@@ -304,6 +325,9 @@ class RangeProbeJoinOp(PhysicalOperator):
             if ok:
                 grid[cell_of(coords)].append((tuple(coords), right_row))
         residual = self.residual
+        n_probes = 0
+        width_sum = 0.0
+        width_count = 0
         for left_row in left_rows:
             bounds: list[tuple[float, float]] = []
             ok = True
@@ -316,19 +340,171 @@ class RangeProbeJoinOp(PhysicalOperator):
                 bounds.append((float(low), float(high)))
             if not ok:
                 continue
-            cell_ranges = [
-                range(int(lo // cell_size), int(hi // cell_size) + 1) for lo, hi in bounds
-            ]
-            for cell in _product(cell_ranges):
+            n_probes += 1
+            for lo, hi in bounds:
+                width_sum += hi - lo
+                width_count += 1
+            lo_cells = [int(lo // cell_size) for lo, _ in bounds]
+            hi_cells = [int(hi // cell_size) for _, hi in bounds]
+            box_cells = 1
+            for lo_c, hi_c in zip(lo_cells, hi_cells):
+                box_cells *= hi_c - lo_c + 1
+                if box_cells > len(grid):
+                    break
+            if box_cells <= len(grid):
+                cells: Iterator[tuple[int, ...]] = _product(
+                    [range(lo_c, hi_c + 1) for lo_c, hi_c in zip(lo_cells, hi_cells)]
+                )
+            else:
+                # The probe box covers more cells than are occupied: scan
+                # the occupied cells instead of enumerating the box.
+                cells = iter(
+                    [
+                        cell
+                        for cell in grid
+                        if all(lo_c <= c <= hi_c for c, lo_c, hi_c in zip(cell, lo_cells, hi_cells))
+                    ]
+                )
+            for cell in cells:
                 for coords, right_row in grid.get(cell, ()):
                     if all(lo <= c <= hi for c, (lo, hi) in zip(coords, bounds)):
                         combined = _merge(left_row, right_row)
                         if residual is None or residual.evaluate(combined):
                             yield combined
+        if self.stats_hook is not None:
+            self.stats_hook(n_probes, width_sum, width_count)
 
     def label(self) -> str:
         cols = ", ".join(column for column, _, _ in self.dimensions)
         return f"RangeProbeJoin(right=[{cols}])"
+
+
+class IndexProbeJoinOp(PhysicalOperator):
+    """Band/range join probing a *persistent* index on the inner table.
+
+    Where :class:`RangeProbeJoinOp` materializes the inner input and builds
+    a transient grid on **every execution**, this operator probes a
+    registered table index (``GridIndex`` / ``RangeTreeIndex`` /
+    ``SortedIndex``) that the table maintains O(1)-per-mutation anyway —
+    Section 4.2's argument that indexing is what makes per-tick range
+    queries scale, applied to the actual join path.
+
+    ``dimensions`` are ``(right_column, low_expr, high_expr)`` triples like
+    :class:`RangeProbeJoinOp`'s, with ``right_column`` resolved to the inner
+    table's schema names.  The index may cover only some probe dimensions
+    and may over-approximate near cell borders, so every fetched row is
+    re-checked against *all* bounds before the residual runs.
+
+    The index is re-resolved by name on every execution: plans can outlive
+    the index they were built against (an incremental view's frozen full
+    plan, a cached plan raced by the advisor's eviction), so a missing
+    name degrades to any other covering index
+    (:meth:`Table.find_index_covering`) and, failing that, to scanning the
+    table's row ids per probe — slower, never wrong.
+    """
+
+    def __init__(
+        self,
+        outer: PhysicalOperator,
+        table: "Table",
+        index_name: str,
+        dimensions: Sequence[tuple[str, Expression, Expression]],
+        schema: Schema,
+        residual: Expression | None = None,
+        alias: str | None = None,
+    ):
+        super().__init__(schema, (outer,))
+        self.table = table
+        self.index_name = index_name
+        self.dimensions = list(dimensions)
+        self.residual = residual
+        self.alias = alias
+        table.index(index_name)  # validate the name at plan time
+        #: Probe columns resolved to the table's schema names (the stored
+        #: row dicts use base names even when the scan is aliased).
+        self._base_columns = [
+            table.schema.resolve(column.split(".")[-1]) for column, _, _ in self.dimensions
+        ]
+        #: Probe-dimension position per base column (to order ``range_search``
+        #: bounds for whichever index :meth:`_resolve_index` returns).
+        self._dim_by_column = {c: i for i, c in enumerate(self._base_columns)}
+        #: ``(output name, stored name)`` pairs, precomputed so the hot
+        #: loop merges fetched rows without per-row string work.
+        self._output_columns = [
+            (f"{alias}.{name.split('.')[-1]}" if alias else name, name)
+            for name in table.schema.names
+        ]
+        #: See :attr:`RangeProbeJoinOp.stats_hook`.
+        self.stats_hook: Callable[[int, float, int], None] | None = None
+
+    def _resolve_index(self):
+        """The named index, any other covering one, or ``None`` (degraded)."""
+        from repro.engine.errors import CatalogError
+
+        try:
+            return self.table.index(self.index_name)
+        except CatalogError:
+            covering = self.table.find_index_covering(self._base_columns)
+            return None if covering is None else covering[1]
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        index = self._resolve_index()
+        index_dims = (
+            None
+            if index is None
+            else [self._dim_by_column[c.split(".")[-1]] for c in index.columns]
+        )
+        get_row = self.table.get
+        dims = self.dimensions
+        base_columns = self._base_columns
+        output_columns = self._output_columns
+        residual = self.residual
+        n_probes = 0
+        width_sum = 0.0
+        width_count = 0
+        for outer_row in self.children[0]:
+            bounds: list[tuple[float, float]] = []
+            ok = True
+            for _, low_expr, high_expr in dims:
+                low = low_expr.evaluate(outer_row)
+                high = high_expr.evaluate(outer_row)
+                if low is None or high is None or high < low:
+                    ok = False
+                    break
+                bounds.append((float(low), float(high)))
+            if not ok:
+                continue
+            n_probes += 1
+            for lo, hi in bounds:
+                width_sum += hi - lo
+                width_count += 1
+            if index is not None:
+                rowids: Iterator[Any] = index.range_search([bounds[i] for i in index_dims])
+            else:
+                rowids = self.table.row_ids()
+            for rowid in rowids:
+                inner_row = get_row(rowid)
+                ok = True
+                for column, (lo, hi) in zip(base_columns, bounds):
+                    value = inner_row[column]
+                    if value is None or value < lo or value > hi:
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                combined = dict(outer_row)
+                for name, stored in output_columns:
+                    combined[name] = inner_row[stored]
+                if residual is None or residual.evaluate(combined):
+                    yield combined
+        if self.stats_hook is not None:
+            self.stats_hook(n_probes, width_sum, width_count)
+
+    def label(self) -> str:
+        pairs = ", ".join(
+            f"{lo!r}<={c}<={hi!r}" for c, lo, hi in self.dimensions
+        )
+        return f"IndexProbeJoin({self.table.name}.{self.index_name}, {pairs})"
 
 
 def _product(ranges: Sequence[range]) -> Iterator[tuple[int, ...]]:

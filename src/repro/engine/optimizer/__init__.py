@@ -4,6 +4,7 @@ and adaptive multi-plan selection."""
 from repro.engine.optimizer.adaptive import (
     AdaptiveQueryManager,
     ExecutionFeedback,
+    IndexAdvisor,
     PlanChoice,
 )
 from repro.engine.optimizer.cost import CostModel, PlanCost
@@ -20,6 +21,7 @@ from repro.engine.optimizer.rules import (
 __all__ = [
     "AdaptiveQueryManager",
     "ExecutionFeedback",
+    "IndexAdvisor",
     "PlanChoice",
     "CostModel",
     "PlanCost",

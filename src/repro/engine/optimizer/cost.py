@@ -80,9 +80,17 @@ class CostModel:
     HASH_COST = 1.2
     #: Per probed cell / log-factor cost for index and band joins.
     INDEX_PROBE_COST = 4.0
+    #: Per-inner-row cost of (re)building a transient band-join grid.  Paid
+    #: on **every execution** by the grid-rebuild path; a registered table
+    #: index amortizes it into the mutations that are happening anyway.
+    GRID_BUILD_COST = 1.2
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, use_indexes: bool = True):
         self.catalog = catalog
+        #: Mirrors the physical planner's flag: with index plans disabled,
+        #: costing must not assume an index-probe lowering that execution
+        #: will never use.
+        self.use_indexes = use_indexes
 
     # -- cardinality ------------------------------------------------------------------
 
@@ -253,10 +261,43 @@ class CostModel:
                 work = left.cardinality + right.cardinality * self.HASH_COST + card
             elif has_band:
                 work = (
-                    right.cardinality * self.HASH_COST
-                    + left.cardinality * self.INDEX_PROBE_COST
+                    self.band_join_work(
+                        left.cardinality,
+                        right.cardinality,
+                        persistent_index=self._band_index_available(plan, conjuncts),
+                    )
                     + card
                 )
             else:
                 work = left.cardinality * right.cardinality
         return PlanCost(card, left.cost + right.cost + work + card)
+
+    # -- band joins -------------------------------------------------------------------
+
+    def band_join_work(
+        self, outer_cardinality: float, inner_cardinality: float, persistent_index: bool
+    ) -> float:
+        """Work of a band join: the probe loop, plus — without a persistent
+        index on the inner side — rebuilding the transient grid per tick."""
+        probe = outer_cardinality * self.INDEX_PROBE_COST
+        if persistent_index:
+            return probe
+        return probe + inner_cardinality * self.GRID_BUILD_COST
+
+    def _band_index_available(self, plan: Join, conjuncts: list[Expression]) -> bool:
+        """Whether the join's inner side has a registered index covering its
+        band-probe columns (makes cost estimates reflect the index-probing
+        lowering the physical planner will choose)."""
+        from repro.engine.optimizer.physical import _extract_range_probe, match_band_index
+
+        if not self.use_indexes:
+            return False
+        try:
+            left_schema = plan.left.output_schema(self.catalog)
+            right_schema = plan.right.output_schema(self.catalog)
+        except Exception:
+            return False
+        probe = _extract_range_probe(conjuncts, left_schema, right_schema)
+        if not probe:
+            return False
+        return match_band_index(self.catalog, plan.right, probe[0]) is not None

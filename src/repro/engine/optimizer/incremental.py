@@ -46,6 +46,7 @@ from repro.engine.errors import SchemaError
 from repro.engine.expressions import BinaryOp, and_all
 from repro.engine.operators.incremental import (
     MAINTAINABLE_AGGS,
+    BandIndexProbe,
     DeltaAggregateOp,
     DeltaFilterOp,
     DeltaJoinOp,
@@ -56,7 +57,11 @@ from repro.engine.operators.incremental import (
     DeltaValuesOp,
     IncrementalView,
 )
-from repro.engine.optimizer.physical import PhysicalPlanner, _extract_equi_keys
+from repro.engine.optimizer.physical import (
+    PhysicalPlanner,
+    _extract_equi_keys,
+    _extract_range_probe,
+)
 
 __all__ = ["IncrementalPlanner"]
 
@@ -154,10 +159,45 @@ class IncrementalPlanner:
         # as a keyless join with the condition as residual.  Per-refresh cost
         # is O(|Δ| · |other side|), bounded by the view's churn guard — and
         # zero when nothing moved, which is the case the tick loop cares
-        # about.
+        # about.  When the right side is a base table whose band columns a
+        # registered index covers, the ΔA terms probe that index instead of
+        # rescanning the table (the index is re-resolved per refresh, so
+        # advisor-created indexes help without re-registering the view).
         return DeltaJoinOp(
-            left, right, [], [], plan.condition, self._full_plan(plan), how=how
+            left,
+            right,
+            [],
+            [],
+            plan.condition,
+            self._full_plan(plan),
+            how=how,
+            band_probe=self._band_probe(plan, conjuncts, left_schema, right_schema),
         )
+
+    def _band_probe(self, plan: Join, conjuncts, left_schema, right_schema):
+        """A :class:`BandIndexProbe` for the join's inner side, if eligible."""
+        if not isinstance(plan.right, TableScan) or not self.catalog.has_table(
+            plan.right.table_name
+        ):
+            return None
+        extraction = _extract_range_probe(conjuncts, left_schema, right_schema)
+        if not extraction:
+            return None
+        table = self.catalog.table(plan.right.table_name)
+        dimensions = []
+        for column, low_expr, high_expr in extraction[0]:
+            try:
+                resolved = table.schema.resolve(column.split(".")[-1])
+            except SchemaError:
+                return None
+            dimensions.append((resolved, low_expr, high_expr))
+        probe = BandIndexProbe(table, dimensions)
+        advisor = self.physical_planner.index_advisor
+        if advisor is not None:
+            probe.advisor_hook = advisor.make_hook(
+                table.name, tuple(column for column, _, _ in dimensions)
+            )
+        return probe
 
     def _build_aggregate(self, plan: Aggregate) -> DeltaOperator | None:
         if any(spec.func not in MAINTAINABLE_AGGS for spec in plan.aggregates):

@@ -62,6 +62,7 @@ from repro.engine.operators import (
     HashAggregateOp,
     HashJoinOp,
     IndexEqualityScanOp,
+    IndexProbeJoinOp,
     IndexRangeScanOp,
     LimitOp,
     NestedLoopJoinOp,
@@ -74,8 +75,53 @@ from repro.engine.operators import (
     ValuesOp,
 )
 from repro.engine.schema import Schema
+from repro.engine.table import Table
 
-__all__ = ["PhysicalPlanner"]
+__all__ = ["PhysicalPlanner", "inner_scan_info", "match_band_index"]
+
+
+def inner_scan_info(
+    catalog: Catalog, plan: LogicalPlan
+) -> tuple[Table, str | None, list[Expression]] | None:
+    """Identify a (possibly filtered) base-table scan on a join's inner side.
+
+    Returns ``(table, scan alias, folded Select predicates)`` when *plan* is
+    a ``TableScan`` or a chain of ``Select`` nodes over one — the only
+    shapes an index-probing join can bypass, because it reads the inner
+    rows straight out of the table.  The folded predicates must be
+    re-applied by the caller (as join residuals).
+    """
+    predicates: list[Expression] = []
+    node = plan
+    while isinstance(node, Select):
+        predicates.append(node.predicate)
+        node = node.child
+    if not isinstance(node, TableScan) or not catalog.has_table(node.table_name):
+        return None
+    return catalog.table(node.table_name), node.alias, predicates
+
+
+def match_band_index(
+    catalog: Catalog, plan: LogicalPlan, dimensions: Sequence[tuple[str, Any, Any]]
+) -> tuple[Table, str, str | None, list[Expression]] | None:
+    """Match a band-join inner side against a registered range-capable index.
+
+    ``dimensions`` are the probe triples from :func:`_extract_range_probe`;
+    coverage is decided by :meth:`Table.find_index_covering` (maximal
+    probe-column subset, hash indexes excluded — their ``range_search`` is
+    a linear fallback, no better than the transient grid).  Returns
+    ``(table, index_name, scan alias, folded Select predicates)``.
+    """
+    info = inner_scan_info(catalog, plan)
+    if info is None:
+        return None
+    table, alias, predicates = info
+    covering = table.find_index_covering(
+        [column.split(".")[-1] for column, _, _ in dimensions]
+    )
+    if covering is None:
+        return None
+    return table, covering[0], alias, predicates
 
 
 class PhysicalPlanner:
@@ -84,12 +130,24 @@ class PhysicalPlanner:
     ``use_indexes=False`` forces pure scan plans; ``use_batch=False``
     forces row-at-a-time plans (used by the equivalence tests and by
     ``benchmarks/bench_columnar.py`` to quantify what each path buys).
+
+    ``index_advisor`` (an
+    :class:`~repro.engine.optimizer.adaptive.IndexAdvisor`) receives
+    execution-time probe statistics from lowered band joins so it can
+    create indexes for join columns that stay hot across ticks.
     """
 
-    def __init__(self, catalog: Catalog, use_indexes: bool = True, use_batch: bool = True):
+    def __init__(
+        self,
+        catalog: Catalog,
+        use_indexes: bool = True,
+        use_batch: bool = True,
+        index_advisor: Any = None,
+    ):
         self.catalog = catalog
         self.use_indexes = use_indexes
         self.use_batch = use_batch
+        self.index_advisor = index_advisor
 
     # -- entry point ------------------------------------------------------------------
 
@@ -197,10 +255,10 @@ class PhysicalPlanner:
     # -- joins ------------------------------------------------------------------------------
 
     def _lower_join(self, plan: Join) -> PhysicalOperator:
-        left = self.lower(plan.left)
-        right = self.lower(plan.right)
         schema = plan.output_schema(self.catalog)
         if plan.how == "cross" or plan.condition is None:
+            left = self.lower(plan.left)
+            right = self.lower(plan.right)
             if plan.how == "left":
                 return NestedLoopJoinOp(left, right, None, schema, how="left")
             return CrossJoinOp(left, right, schema)
@@ -216,15 +274,96 @@ class PhysicalPlanner:
             left_keys, right_keys, residual_conjuncts = equi
             residual = and_all(residual_conjuncts) if residual_conjuncts else None
             return HashJoinOp(
-                left, right, left_keys, right_keys, schema, residual=residual, how=plan.how
+                self.lower(plan.left),
+                self.lower(plan.right),
+                left_keys,
+                right_keys,
+                schema,
+                residual=residual,
+                how=plan.how,
             )
         if plan.how == "inner":
             probe = _extract_range_probe(conjuncts, left_schema, right_schema)
             if probe:
                 dimensions, residual_conjuncts = probe
+                indexed = (
+                    self._try_index_probe_join(plan, dimensions, residual_conjuncts, schema)
+                    if self.use_indexes
+                    else None
+                )
+                if indexed is not None:
+                    return indexed
                 residual = and_all(residual_conjuncts) if residual_conjuncts else None
-                return RangeProbeJoinOp(left, right, dimensions, schema, residual=residual)
-        return NestedLoopJoinOp(left, right, plan.condition, schema, how=plan.how)
+                op = RangeProbeJoinOp(
+                    self.lower(plan.left), self.lower(plan.right), dimensions, schema, residual=residual
+                )
+                self._attach_band_hook(op, plan.right, dimensions)
+                return op
+        return NestedLoopJoinOp(
+            self.lower(plan.left), self.lower(plan.right), plan.condition, schema, how=plan.how
+        )
+
+    def _try_index_probe_join(
+        self,
+        plan: Join,
+        dimensions: Sequence[tuple[str, Expression, Expression]],
+        residual_conjuncts: Sequence[Expression],
+        schema: Schema,
+    ) -> PhysicalOperator | None:
+        """Lower a band join to a persistent-index probe when one applies.
+
+        The inner side must be a (possibly filtered) base-table scan with a
+        registered range-capable index over probe columns; the transient
+        grid stays as fallback for every other shape.  A matched index
+        always wins: it skips the per-execution rebuild of a grid over the
+        whole inner side (``CostModel.band_join_work`` encodes the same
+        ordering for plan costing).  This assumes the index is reasonably
+        sized for the workload's probe widths — true for advisor-created
+        grids (cells sized from observed widths); a grossly mis-sized
+        manual index can probe more cells than the transient grid would
+        have, and the remedies are re-registering it with a better cell
+        size or ``use_indexes=False``.  Folded inner Select predicates
+        join the residual, so bypassing the inner operator tree never
+        loses a filter.
+        """
+        matched = match_band_index(self.catalog, plan.right, dimensions)
+        if matched is None:
+            return None
+        table, index_name, alias, folded = matched
+        residual_parts = list(residual_conjuncts) + list(folded)
+        residual = and_all(residual_parts) if residual_parts else None
+        op = IndexProbeJoinOp(
+            self.lower(plan.left),
+            table,
+            index_name,
+            dimensions,
+            schema,
+            residual=residual,
+            alias=alias,
+        )
+        self._attach_band_hook(op, plan.right, dimensions)
+        return op
+
+    def _attach_band_hook(
+        self,
+        op: PhysicalOperator,
+        inner_plan: LogicalPlan,
+        dimensions: Sequence[tuple[str, Expression, Expression]],
+    ) -> None:
+        """Wire a lowered band join's probe statistics to the index advisor."""
+        if self.index_advisor is None:
+            return
+        info = inner_scan_info(self.catalog, inner_plan)
+        if info is None:
+            return
+        table, _, _ = info
+        try:
+            columns = tuple(
+                table.schema.resolve(column.split(".")[-1]) for column, _, _ in dimensions
+            )
+        except SchemaError:
+            return
+        op.stats_hook = self.index_advisor.make_hook(table.name, columns)
 
     # -- batch (columnar) lowering ----------------------------------------------------
 
@@ -400,11 +539,19 @@ def _extract_range_probe(
     conjuncts: Sequence[Expression], left_schema: Schema, right_schema: Schema
 ) -> tuple[list[tuple[str, Expression, Expression]], list[Expression]] | None:
     """Match the band-join shape: per right column, a lower and upper bound
-    expression computed from the left row."""
+    expression computed from the left row.
+
+    The probe operators check the extracted bounds *inclusively*, which is
+    exact for ``<=`` / ``>=`` conjuncts.  A strict conjunct (``<`` / ``>``)
+    still provides a usable bound — the inclusive check merely
+    over-approximates — but it is additionally kept as a residual so the
+    strict comparison is re-applied to every candidate.
+    """
     lows: dict[str, Expression] = {}
     highs: dict[str, Expression] = {}
     residual: list[Expression] = []
-    consumed: list[Expression] = []
+    #: Consumed conjuncts as ``(conjunct, right column, normalized op)``.
+    consumed: list[tuple[Expression, str, str]] = []
     for conjunct in conjuncts:
         matched = False
         if isinstance(conjunct, BinaryOp) and conjunct.op in ("<", "<=", ">", ">="):
@@ -423,12 +570,12 @@ def _extract_range_probe(
                 if op in (">", ">="):
                     if column not in lows:
                         lows[column] = other
-                        consumed.append(conjunct)
+                        consumed.append((conjunct, column, op))
                         matched = True
                 else:
                     if column not in highs:
                         highs[column] = other
-                        consumed.append(conjunct)
+                        consumed.append((conjunct, column, op))
                         matched = True
                 break
         if not matched:
@@ -439,14 +586,13 @@ def _extract_range_probe(
             dimensions.append((column, lows[column], highs[column]))
     if not dimensions:
         return None
-    # Bounds that did not pair up stay as residual predicates.
     paired_columns = {c for c, _, _ in dimensions}
-    for conjunct in consumed:
-        parsed_cols = [
-            c
-            for c in conjunct.columns()
-            if _side_of(c, left_schema, right_schema) == "right"
-        ]
-        if not any(c in paired_columns for c in parsed_cols):
+    for conjunct, column, op in consumed:
+        if column not in paired_columns:
+            # The bound did not pair up: keep the whole conjunct as residual.
+            residual.append(conjunct)
+        elif op in ("<", ">"):
+            # Strict bound: the probe's inclusive range over-approximates,
+            # so the conjunct must be re-checked on every candidate.
             residual.append(conjunct)
     return dimensions, residual

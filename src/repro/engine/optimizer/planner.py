@@ -71,12 +71,16 @@ class Planner:
         optimize: bool = True,
         use_indexes: bool = True,
         use_batch: bool = True,
+        index_advisor=None,
     ):
         self.catalog = catalog
         self.optimize = optimize
-        self.cost_model = CostModel(catalog)
+        self.cost_model = CostModel(catalog, use_indexes=use_indexes)
         self.physical_planner = PhysicalPlanner(
-            catalog, use_indexes=use_indexes, use_batch=use_batch
+            catalog,
+            use_indexes=use_indexes,
+            use_batch=use_batch,
+            index_advisor=index_advisor,
         )
 
     def plan(self, logical: LogicalPlan) -> PlannedQuery:

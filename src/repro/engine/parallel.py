@@ -26,10 +26,38 @@ from typing import Any
 from repro.engine.algebra import LogicalPlan, Select, TableScan
 from repro.engine.catalog import Catalog
 from repro.engine.errors import ExecutionError
-from repro.engine.expressions import BinaryOp, ColumnRef, Literal
+from repro.engine.expressions import (
+    BinaryOp,
+    ColumnRef,
+    Expression,
+    FunctionCall,
+    Literal,
+)
 from repro.engine.optimizer.planner import Planner
 
-__all__ = ["PartitionedExecutor", "ParallelResult", "partition_plan"]
+__all__ = [
+    "PartitionedExecutor",
+    "ParallelResult",
+    "partition_plan",
+    "partition_predicate",
+]
+
+
+def partition_predicate(column: str, n_partitions: int, partition: int) -> Expression:
+    """The restriction ``bucket(column, n) == partition`` for one partition.
+
+    ``bucket`` is a *total* hash routing function: NULL keys go to
+    partition 0 and non-integer keys (floats, strings) hash.  The earlier
+    ``key % n == partition`` form silently dropped such rows from every
+    partition — ``None % n`` is ``None`` (falsy everywhere) and
+    ``2.5 % 4`` equals no integer — so parallel results lost rows that
+    serial execution kept.
+    """
+    return BinaryOp(
+        "==",
+        FunctionCall("bucket", [ColumnRef(column), Literal(n_partitions)]),
+        Literal(partition),
+    )
 
 
 @dataclass
@@ -64,7 +92,9 @@ def partition_plan(
     """Split *plan* into ``n_partitions`` copies, each restricted to a hash
     partition of *outer_table* on *key_column*.
 
-    The restriction is expressed as an extra selection ``key % n == i``
+    The restriction is expressed as an extra selection
+    ``bucket(key, n) == i`` (see :func:`partition_predicate` — a total
+    function, so NULL and non-integer keys land in exactly one partition)
     applied directly above every scan of the outer table, so each copy of
     the plan is an ordinary logical plan that any executor can run.
     """
@@ -76,12 +106,7 @@ def partition_plan(
             qualified = (
                 f"{node.alias}.{key_column}" if node.alias else key_column
             )
-            predicate = BinaryOp(
-                "==",
-                BinaryOp("%", ColumnRef(qualified), Literal(n_partitions)),
-                Literal(partition),
-            )
-            return Select(node, predicate)
+            return Select(node, partition_predicate(qualified, n_partitions, partition))
         children = node.children()
         if not children:
             return node
@@ -152,12 +177,7 @@ class PartitionedExecutor:
                 if alias is not None and node.alias != alias:
                     return node
                 qualified = f"{node.alias}.{key_column}" if node.alias else key_column
-                predicate = BinaryOp(
-                    "==",
-                    BinaryOp("%", ColumnRef(qualified), Literal(n)),
-                    Literal(partition),
-                )
-                return Select(node, predicate)
+                return Select(node, partition_predicate(qualified, n, partition))
             children = node.children()
             if not children:
                 return node

@@ -28,6 +28,8 @@ __all__ = [
     "TableStatistics",
     "collect_table_statistics",
     "estimate_selectivity",
+    "suggest_grid_cell_size",
+    "DEFAULT_GRID_CELL_SIZE",
 ]
 
 #: Number of buckets in equi-depth histograms.
@@ -38,6 +40,8 @@ SAMPLE_SIZE = 256
 DEFAULT_SELECTIVITY = 0.33
 #: Selectivity assumed for equality against an unknown value.
 DEFAULT_EQUALITY_SELECTIVITY = 0.1
+#: Grid cell size used when neither probe widths nor column spans are known.
+DEFAULT_GRID_CELL_SIZE = 16.0
 
 
 @dataclass
@@ -175,6 +179,40 @@ def _equi_depth_boundaries(sorted_values: Sequence[float], buckets: int) -> list
         boundaries.append(float(sorted_values[idx]))
     boundaries.append(float(sorted_values[-1]))
     return boundaries
+
+
+def suggest_grid_cell_size(
+    stats: TableStatistics | None,
+    columns: Sequence[str],
+    observed_width: float | None = None,
+) -> float:
+    """Pick a cell size for a spatial grid index over *columns*.
+
+    A grid answers a band probe by inspecting ~``ceil(width/cell + 1)^d``
+    cells, so the sweet spot is a cell close to the typical probe width —
+    when the index advisor has observed probe widths, the mean width wins
+    outright.  Without observations, fall back to spreading ~``row_count``
+    cells over the columns' observed spans (≈ one row per cell), which
+    keeps both the cell count and the per-cell occupancy bounded for any
+    data scale.
+    """
+    if observed_width is not None and observed_width > 0:
+        return float(observed_width)
+    spans: list[float] = []
+    if stats is not None:
+        for name in columns:
+            cs = stats.column(name)
+            if (
+                cs is not None
+                and isinstance(cs.min_value, (int, float))
+                and isinstance(cs.max_value, (int, float))
+                and cs.max_value > cs.min_value
+            ):
+                spans.append(float(cs.max_value) - float(cs.min_value))
+    if not spans or stats is None or stats.row_count <= 1:
+        return DEFAULT_GRID_CELL_SIZE
+    cells_per_dim = max(1.0, float(stats.row_count) ** (1.0 / len(columns)))
+    return max(min(spans) / cells_per_dim, 1e-6)
 
 
 # -- selectivity estimation ------------------------------------------------------------

@@ -453,6 +453,35 @@ class Table:
                 return index
         return None
 
+    def find_index_covering(self, columns: Sequence[str]) -> tuple[str, "TableIndex"] | None:
+        """The best range-capable index whose key columns are all among
+        *columns*.
+
+        The single coverage rule shared by the band-join planner, the
+        incremental band probe and the index advisor: an index over a
+        subset of the probe dimensions can still serve ``range_search``
+        (uncovered dimensions are re-checked on the fetched rows), so
+        among eligible indexes the one covering the most probe columns
+        wins; indexes whose range search is a linear fallback
+        (``range_capable = False``) never qualify.  Returns
+        ``(index_name, index)`` or ``None`` — also ``None`` when a column
+        does not exist in the schema.
+        """
+        try:
+            wanted = {self.schema.resolve(c) for c in columns}
+        except SchemaError:
+            return None
+        best: tuple[str, "TableIndex"] | None = None
+        for name, index in self._indexes.items():
+            if not index.range_capable:
+                continue
+            index_columns = tuple(index.columns)
+            if not index_columns or not all(c in wanted for c in index_columns):
+                continue
+            if best is None or len(index_columns) > len(best[1].columns):
+                best = (name, index)
+        return best
+
 
 class TableIndex:
     """Interface implemented by all secondary indexes.
@@ -464,6 +493,12 @@ class TableIndex:
 
     #: The resolved column names this index is keyed on.
     columns: tuple[str, ...] = ()
+
+    #: Whether ``range_search`` is genuinely sub-linear.  Structures whose
+    #: range search is a linear fallback (the hash index) set this False so
+    #: the band-join planner and advisor never pick them over the
+    #: transient-grid path.
+    range_capable: bool = True
 
     def on_insert(self, rowid: RowId, row: Mapping[str, Any]) -> None:
         raise NotImplementedError

@@ -29,6 +29,7 @@ from repro.engine.catalog import Catalog
 from repro.engine.errors import ExecutionError
 from repro.engine.executor import Executor
 from repro.engine.expressions import Expression
+from repro.engine.optimizer.adaptive import IndexAdvisor
 from repro.runtime.effects import CombinedEffects, EffectStore
 from repro.runtime.reactive import FiredHandler, Handler, ReactiveDispatcher
 from repro.runtime.scheduler import MultiTickScheduler
@@ -92,6 +93,7 @@ class GameWorld:
         use_indexes: bool = True,
         use_batch: bool = True,
         use_incremental: bool = True,
+        auto_index: bool = True,
     ):
         self.program = parse_program(source) if isinstance(source, str) else source
         self.analyzed: AnalyzedProgram = analyze_program(self.program)
@@ -106,12 +108,18 @@ class GameWorld:
         self.schemas: dict[str, GeneratedSchema] = {}
         self._register_schemas()
 
+        #: Auto-creates/evicts spatial indexes for hot band joins (§4.2);
+        #: pointless when index plans are disabled, hence the ``and``.
+        self.index_advisor: IndexAdvisor | None = (
+            IndexAdvisor(self.catalog) if auto_index and use_indexes else None
+        )
         self.executor = Executor(
             self.catalog,
             optimize=optimize,
             use_indexes=use_indexes,
             use_batch=use_batch,
             use_incremental=use_incremental,
+            index_advisor=self.index_advisor,
         )
         #: Compiled queries already offered to the incremental planner.
         self._incremental_considered: set[int] = set()
@@ -378,6 +386,12 @@ class GameWorld:
             )
         report.handlers_fired = len(fired)
         report.reactive_seconds = time.perf_counter() - started
+
+        # -- index advisor: create/evict indexes for hot band joins -----------------------------
+        if self.index_advisor is not None and self.index_advisor.end_tick():
+            # The catalog shape changed; replan so the next tick's queries
+            # probe (or stop probing) the adjusted index set.
+            self.executor.invalidate_plans()
 
         self.tick_count += 1
         self.reports.append(report)

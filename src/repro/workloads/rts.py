@@ -94,6 +94,7 @@ def build_rts_world(
     use_indexes: bool = True,
     use_batch: bool = True,
     use_incremental: bool = True,
+    auto_index: bool = True,
 ) -> GameWorld:
     """Build a ready-to-tick RTS world with *n_units* units."""
     world = GameWorld(
@@ -104,6 +105,7 @@ def build_rts_world(
         use_indexes=use_indexes,
         use_batch=use_batch,
         use_incremental=use_incremental,
+        auto_index=auto_index,
     )
     world.add_update_rule(
         "Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0)

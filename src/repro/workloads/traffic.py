@@ -84,10 +84,15 @@ def build_traffic_world(
     seed: int = 23,
     use_batch: bool = True,
     use_incremental: bool = True,
+    auto_index: bool = True,
 ) -> GameWorld:
     """A ring-road traffic world; positions wrap around at ``road_length``."""
     world = GameWorld(
-        TRAFFIC_SOURCE, mode=mode, use_batch=use_batch, use_incremental=use_incremental
+        TRAFFIC_SOURCE,
+        mode=mode,
+        use_batch=use_batch,
+        use_incremental=use_incremental,
+        auto_index=auto_index,
     )
     world.add_update_rule(
         "Vehicle",
