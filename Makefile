@@ -2,12 +2,13 @@
 # `make check` = the test job, `make lint` = the lint job,
 # `make bench-incremental` = the incremental speedup gate,
 # `make bench-index` = the index-join speedup gate,
+# `make bench-shared` = the shared-plan (MQO) speedup gate,
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-index bench-ci
+.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-index bench-shared bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -39,6 +40,10 @@ bench-incremental:
 ## Index-join-vs-grid-rebuild benchmarks incl. the >=3x gate.
 bench-index:
 	$(PYTHON) -m pytest benchmarks/bench_index_join.py -q -s
+
+## Shared-plan-pipeline-vs-per-query benchmarks incl. the >=2x gate.
+bench-shared:
+	$(PYTHON) -m pytest benchmarks/bench_shared_plans.py -q -s
 
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:

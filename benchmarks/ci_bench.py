@@ -10,7 +10,11 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
   speedups, plus the batch-vs-row speedup of the hot tick query,
 * the shared moving-units band-join scenario
   (``benchmarks/index_join_scenario.py``) timed on the persistent-index,
-  grid-rebuild and row paths, yielding the index-join speedups.
+  grid-rebuild and row paths, yielding the index-join speedups,
+* the shared many-scripts scenario (``benchmarks/shared_plans_scenario.py``)
+  timed through the tick pipeline (``Executor.execute_tick``, shared
+  subplans evaluated once per tick) and per-query, yielding the
+  multi-query-optimization speedup.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -42,6 +46,7 @@ sys.path.insert(
 )
 
 import index_join_scenario  # noqa: E402
+import shared_plans_scenario  # noqa: E402
 from incremental_scenario import (  # noqa: E402
     CHURN_FRACTION,
     SEED,
@@ -64,6 +69,7 @@ GATED_METRICS = {
     "incremental.batch_speedup_vs_row": "batch path vs row path",
     "index_join.speedup_vs_rebuild": "index-probing band join vs per-tick grid rebuild",
     "index_join.speedup_vs_row": "index-probing band join vs row path",
+    "shared_plans.speedup_vs_unshared": "tick-wide shared-subplan pipeline vs per-query execution",
 }
 
 
@@ -153,12 +159,46 @@ def bench_index_join(ticks: int = 30) -> dict:
     }
 
 
+def bench_shared_plans(ticks: int = 15) -> dict:
+    catalog, units = shared_plans_scenario.build_units_catalog()
+    plans = shared_plans_scenario.tick_queries()
+    specs = shared_plans_scenario.tick_specs(plans)
+    shared_exec = Executor(catalog, use_incremental=False)
+    unshared_exec = Executor(catalog, use_incremental=False)
+    shared_exec.execute_tick(specs)
+    for plan in plans:
+        unshared_exec.execute(plan)
+    rng = random.Random(shared_plans_scenario.SEED)
+    shared_total = unshared_total = 0.0
+    for _ in range(ticks):
+        shared_plans_scenario.churn_step(units, rng)
+        start = time.perf_counter()
+        shared_exec.execute_tick(specs)
+        shared_total += time.perf_counter() - start
+        start = time.perf_counter()
+        for plan in plans:
+            unshared_exec.execute(plan)
+        unshared_total += time.perf_counter() - start
+    stats = shared_exec.last_tick_stats
+    return {
+        "ticks": ticks,
+        "rows": len(units),
+        "queries": len(plans),
+        "shared_subplans": stats.get("shared_subplans", 0),
+        "evaluations_saved": stats.get("evaluations_saved", 0),
+        "shared_seconds": round(shared_total, 6),
+        "unshared_seconds": round(unshared_total, 6),
+        "speedup_vs_unshared": round(unshared_total / shared_total, 3),
+    }
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
         "workloads": bench_workloads(),
         "incremental": bench_incremental(),
         "index_join": bench_index_join(),
+        "shared_plans": bench_shared_plans(),
     }
 
 

@@ -1,0 +1,112 @@
+"""Shared many-scripts tick scenario for the MQO benchmarks and CI.
+
+The regime the paper's Figure-2-style workloads stress: *many* scripts over
+one class, each re-deriving the same hot spatial self-join per tick with
+only its projection differing.  Unshared execution evaluates the band join
+once per query; the tick pipeline (``Executor.execute_tick``) evaluates it
+once per *tick* and serves every consumer from the materialization.
+
+Used by ``bench_shared_plans.py`` (pytest gate: shared >= 2x unshared) and
+``ci_bench.py`` (the CI benchmark/regression pipeline), so the two always
+measure the same workload.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.engine.algebra import Join, LogicalPlan, Project, Select, TableScan
+from repro.engine.catalog import Catalog
+from repro.engine.expressions import BinaryOp, col, lit
+from repro.engine.executor import TickQuerySpec
+from repro.engine.schema import Column, Schema
+from repro.engine.table import Table
+from repro.engine.types import DataType
+
+N_ROWS = 2_000
+N_QUERIES = 8
+WORLD_SIZE = 600.0
+BAND = 12.0
+CHURN_FRACTION = 0.02
+SEED = 7
+
+
+def build_units_catalog(n_rows: int = N_ROWS, seed: int = SEED) -> tuple[Catalog, Table]:
+    rng = random.Random(seed)
+    catalog = Catalog()
+    units = catalog.create_table(
+        "units",
+        Schema(
+            [
+                Column("id", DataType.NUMBER),
+                Column("player", DataType.NUMBER),
+                Column("x", DataType.NUMBER),
+                Column("y", DataType.NUMBER),
+                Column("attack", DataType.NUMBER),
+            ]
+        ),
+    )
+    for i in range(n_rows):
+        units.insert(
+            {
+                "id": i,
+                "player": i % 2,
+                "x": rng.uniform(0, WORLD_SIZE),
+                "y": rng.uniform(0, WORLD_SIZE),
+                "attack": rng.choice([1, 2, 3]),
+            }
+        )
+    return catalog, units
+
+
+def _band_condition() -> BinaryOp:
+    """The Figure-2 shape: all units b within BAND of unit a, other player."""
+    condition = col("b.x").ge(col("a.x") - lit(BAND))
+    condition = condition.and_(col("b.x").le(col("a.x") + lit(BAND)))
+    condition = condition.and_(col("b.y").ge(col("a.y") - lit(BAND)))
+    condition = condition.and_(col("b.y").le(col("a.y") + lit(BAND)))
+    condition = condition.and_(col("b.player").ne(col("a.player")))
+    return condition
+
+
+def tick_queries(n_queries: int = N_QUERIES) -> list[LogicalPlan]:
+    """``n_queries`` effect-query-shaped plans sharing the hot band join.
+
+    Each plan is built fresh (distinct objects, as the SGL compiler would
+    emit for distinct scripts); only the projected value differs, so the
+    optimized join subtree is fingerprint-identical across all of them.
+    """
+    plans: list[LogicalPlan] = []
+    for k in range(n_queries):
+        joined = Select(
+            Join(TableScan("units", "a"), TableScan("units", "b"), None, how="cross"),
+            _band_condition(),
+        )
+        plans.append(
+            Project(
+                joined,
+                {
+                    "__target__": col("b.id"),
+                    "__value__": col("b.attack") * lit(k + 1),
+                },
+            )
+        )
+    return plans
+
+
+def tick_specs(plans: list[LogicalPlan]) -> list[TickQuerySpec]:
+    """Pipeline specs for *plans* (plain row results, no sink fusion, so the
+    shared-vs-unshared comparison isolates subplan sharing)."""
+    return [TickQuerySpec(key=f"q{k}", plan=plan) for k, plan in enumerate(plans)]
+
+
+def churn_step(
+    units: Table, rng: random.Random, fraction: float = CHURN_FRACTION
+) -> None:
+    """Move ``fraction`` of the units so consecutive ticks differ."""
+    rowids = list(units.row_ids())
+    for rowid in rng.sample(rowids, max(1, int(len(rowids) * fraction))):
+        units.update(
+            rowid,
+            {"x": rng.uniform(0, WORLD_SIZE), "y": rng.uniform(0, WORLD_SIZE)},
+        )

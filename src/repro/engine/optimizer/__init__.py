@@ -9,6 +9,14 @@ from repro.engine.optimizer.adaptive import (
 )
 from repro.engine.optimizer.cost import CostModel, PlanCost
 from repro.engine.optimizer.join_order import extract_join_graph, order_joins, reorder_joins
+from repro.engine.optimizer.mqo import (
+    SharedScan,
+    SharedSubplan,
+    TickEntry,
+    TickPlan,
+    build_tick_plan,
+    fingerprint_plan,
+)
 from repro.engine.optimizer.physical import PhysicalPlanner
 from repro.engine.optimizer.planner import PlannedQuery, Planner
 from repro.engine.optimizer.rules import (
@@ -28,6 +36,12 @@ __all__ = [
     "extract_join_graph",
     "order_joins",
     "reorder_joins",
+    "SharedScan",
+    "SharedSubplan",
+    "TickEntry",
+    "TickPlan",
+    "build_tick_plan",
+    "fingerprint_plan",
     "PhysicalPlanner",
     "PlannedQuery",
     "Planner",

@@ -37,6 +37,7 @@ from repro.engine.algebra import (
 )
 from repro.engine.catalog import Catalog
 from repro.engine.errors import PlanError, SchemaError
+from repro.engine.optimizer.mqo import SharedScan
 from repro.engine.expressions import (
     BinaryOp,
     ColumnRef,
@@ -148,6 +149,13 @@ class PhysicalPlanner:
         self.use_indexes = use_indexes
         self.use_batch = use_batch
         self.index_advisor = index_advisor
+        #: Set by the executor while lowering a tick pipeline: an object
+        #: with ``row_source(shared_scan)`` / ``batch_source(shared_scan)``
+        #: methods resolving :class:`SharedScan` leaves to operators that
+        #: serve the tick-shared materialization.  ``None`` outside
+        #: pipeline lowering — SharedScan then falls back to lowering its
+        #: own source subtree, which is always correct.
+        self.shared_lowering: Any = None
 
     # -- entry point ------------------------------------------------------------------
 
@@ -156,6 +164,12 @@ class PhysicalPlanner:
             batched = self._lower_batch(plan)
             if batched is not None:
                 return BatchBridgeOp(batched, plan.output_schema(self.catalog))
+        if isinstance(plan, SharedScan):
+            if self.shared_lowering is not None:
+                source = self.shared_lowering.row_source(plan)
+                if source is not None:
+                    return source
+            return self.lower(plan.source)
         if isinstance(plan, TableScan):
             return self._lower_scan(plan)
         if isinstance(plan, Values):
@@ -378,6 +392,12 @@ class PhysicalPlanner:
         the whole subtree above them on the row path, while their children
         may still batch independently via :meth:`lower`.
         """
+        if isinstance(plan, SharedScan):
+            if self.shared_lowering is not None:
+                source = self.shared_lowering.batch_source(plan)
+                if source is not None:
+                    return source
+            return self._lower_batch(plan.source)
         if isinstance(plan, TableScan):
             table = self.catalog.table(plan.table_name)
             return BatchTableScanOp(table, plan.output_schema(self.catalog), plan.alias)

@@ -111,6 +111,41 @@ class TickInspector:
         """Row counts of every generated table (maps attributes back to SGL)."""
         return self.world.catalog.summary()
 
+    # -- tick timings and plan-cache traffic -----------------------------------------------------
+
+    def tick_counters(self) -> dict[str, Any]:
+        """Timings and engine counters of the most recent tick.
+
+        Beyond the step timings this surfaces the previously invisible
+        bookkeeping: how long the index-advisor/replan step took
+        (``advisor_seconds``), how the executor's plan cache behaved
+        (``plan_cache_hits`` / ``plan_cache_misses`` — a miss after warmup
+        means something invalidated plans), and what tick-wide sharing
+        bought (``shared_subplans``, ``shared_evaluations_saved``,
+        ``fused_effect_rows``).
+        """
+        if not self.world.reports:
+            return {}
+        report = self.world.reports[-1]
+        return {
+            "tick": report.tick,
+            "effect_step_seconds": report.effect_step_seconds,
+            "update_step_seconds": report.update_step_seconds,
+            "reactive_seconds": report.reactive_seconds,
+            "advisor_seconds": report.advisor_seconds,
+            "total_seconds": report.total_seconds,
+            "plan_cache_hits": report.plan_cache_hits,
+            "plan_cache_misses": report.plan_cache_misses,
+            "shared_subplans": report.shared_subplans,
+            "shared_subplans_evaluated": report.shared_subplans_evaluated,
+            "shared_evaluations_saved": report.shared_evaluations_saved,
+            "fused_effect_rows": report.fused_effect_rows,
+        }
+
+    def sharing_report(self) -> dict[str, Any]:
+        """The tick pipeline's shared-subplan DAG and fusion decisions."""
+        return self.world.executor.tick_sharing_report()
+
 
 def explain_script_plans(world: GameWorld, script_name: str, analyze: bool = False) -> str:
     """Render the compiled plans of one script, one block per effect site.

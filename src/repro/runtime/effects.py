@@ -13,9 +13,10 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping
 
 from repro.engine.aggregates import AGGREGATE_NAMES, Accumulator, make_accumulator
+from repro.engine.errors import ExecutionError
 from repro.sgl.ast_nodes import ClassDecl
 from repro.sgl.ir import EffectAssignment
-from repro.sgl.semantics import COMBINATOR_ALIASES
+from repro.sgl.semantics import COMBINATOR_ALIASES, resolve_combinator
 
 __all__ = ["EffectStore", "CombinedEffects", "combinator_identity"]
 
@@ -89,17 +90,56 @@ class EffectStore:
         for assignment in assignments:
             self.add(assignment)
 
+    def add_partial(
+        self,
+        class_name: str,
+        target_id: Any,
+        effect: str,
+        partial: Accumulator,
+        count: int,
+        set_insert: bool = False,
+    ) -> None:
+        """Fold a pre-combined group of assignments into the store.
+
+        This is the sink half of in-engine effect aggregation
+        (:class:`~repro.engine.operators.shared.EffectSinkOp`): one query's
+        assignments to ``(target, effect)`` arrive already combined as a
+        partial accumulator, plus the raw assignment ``count`` so the
+        debugger's per-NPC counts match the row-at-a-time path exactly.
+        Partials merge with :meth:`Accumulator.merge` — semantically
+        lossless for every order-insensitive combinator (the only kind
+        the runtime ever sink-fuses), though merging two queries' float
+        sums reassociates addition and may differ from the row-at-a-time
+        fold by rounding error, like delta-maintained and partitioned
+        parallel aggregates already do.
+        """
+        key = (class_name, target_id, effect)
+        combinator = self._resolve_combinator(class_name, effect, set_insert)
+        if partial.func != combinator:
+            # The compiler resolves sink combinators through the same
+            # resolve_combinator helper this store uses, so a mismatch
+            # means the fused values were combined under the wrong ⊕ —
+            # silently folding the collapsed result would corrupt effects.
+            raise ExecutionError(
+                f"effect sink combined {class_name}.{effect} with "
+                f"{partial.func!r} but the declaration requires {combinator!r}"
+            )
+        accumulator = self._accumulators.get(key)
+        if accumulator is None:
+            # Adopt the partial wholesale — the common case.
+            self._accumulators[key] = partial
+            self._counts[key] = count
+            return
+        accumulator.merge(partial)
+        self._counts[key] += count
+
     def _combinator_for(self, assignment: EffectAssignment) -> str:
-        if assignment.set_insert:
-            return "union"
-        class_decl = self._classes.get(assignment.class_name)
-        if class_decl is not None:
-            effect = class_decl.effect_field(assignment.effect)
-            if effect is not None:
-                return COMBINATOR_ALIASES.get(effect.combinator, effect.combinator)
-        # Unknown effect (e.g. synthetic effects used by update components):
-        # default to choose so a single writer behaves like plain assignment.
-        return "choose"
+        return self._resolve_combinator(
+            assignment.class_name, assignment.effect, assignment.set_insert
+        )
+
+    def _resolve_combinator(self, class_name: str, effect: str, set_insert: bool) -> str:
+        return resolve_combinator(self._classes.get(class_name), effect, set_insert)
 
     # -- results -------------------------------------------------------------------------------
 

@@ -22,12 +22,12 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.errors import ExecutionError
-from repro.engine.executor import Executor
+from repro.engine.executor import Executor, TickQuerySpec
 from repro.engine.expressions import Expression
 from repro.engine.optimizer.adaptive import IndexAdvisor
 from repro.runtime.effects import CombinedEffects, EffectStore
@@ -68,16 +68,37 @@ class TickReport:
     effect_step_seconds: float = 0.0
     update_step_seconds: float = 0.0
     reactive_seconds: float = 0.0
+    #: Index-advisor bookkeeping + replanning at the end of the tick
+    #: (previously untimed, so advisor-heavy ticks looked free).
+    advisor_seconds: float = 0.0
     effect_assignments: int = 0
     transactions_submitted: int = 0
     transactions_committed: int = 0
     transactions_aborted: int = 0
     handlers_fired: int = 0
     state_updates_applied: int = 0
+    #: Executor plan-cache traffic during this tick.
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    #: Tick-pipeline sharing: shared subplans in the compiled pipeline,
+    #: how many were actually materialized this tick (queries served from
+    #: incremental views pull nothing), and how many subplan evaluations
+    #: sharing avoids per tick versus unshared execution.
+    shared_subplans: int = 0
+    shared_subplans_evaluated: int = 0
+    shared_evaluations_saved: int = 0
+    #: Effect rows combined in-engine by sink fusion (instead of one
+    #: EffectAssignment per row through the store).
+    fused_effect_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
-        return self.effect_step_seconds + self.update_step_seconds + self.reactive_seconds
+        return (
+            self.effect_step_seconds
+            + self.update_step_seconds
+            + self.reactive_seconds
+            + self.advisor_seconds
+        )
 
 
 class GameWorld:
@@ -94,6 +115,7 @@ class GameWorld:
         use_batch: bool = True,
         use_incremental: bool = True,
         auto_index: bool = True,
+        use_mqo: bool = True,
     ):
         self.program = parse_program(source) if isinstance(source, str) else source
         self.analyzed: AnalyzedProgram = analyze_program(self.program)
@@ -121,8 +143,14 @@ class GameWorld:
             use_incremental=use_incremental,
             index_advisor=self.index_advisor,
         )
-        #: Compiled queries already offered to the incremental planner.
-        self._incremental_considered: set[int] = set()
+        #: Tick-wide multi-query optimization: execute each tick's effect
+        #: queries through the executor's shared-subplan pipeline with
+        #: in-engine effect aggregation, instead of one-query-at-a-time.
+        self.use_mqo = use_mqo
+        #: Compiled queries already offered to the incremental planner,
+        #: keyed by their stable ``query_id`` (``id()`` keys are unsafe:
+        #: a recycled id would silently skip or double-consider a query).
+        self._incremental_considered: set[str] = set()
         self.interpreter = ScriptInterpreter(self.analyzed)
         self.compiler = SGLCompiler(self.analyzed, self.schemas, self.schema_generator)
         self._compiled: CompiledProgram | None = None
@@ -328,6 +356,8 @@ class GameWorld:
         report = TickReport(tick=self.tick_count)
         store = EffectStore({decl.name: decl for decl in self.program.classes})
         transactions: list[TransactionRequest] = []
+        cache_hits = self.executor.plan_cache_hits
+        cache_misses = self.executor.plan_cache_misses
 
         # Effects queued by reactive handlers at the end of the previous tick.
         store.add_all(self.reactive.drain_effects())
@@ -345,21 +375,27 @@ class GameWorld:
         report.effect_step_seconds = time.perf_counter() - started
         report.effect_assignments = len(store)
         report.transactions_submitted = len(transactions)
+        if self.mode is ExecutionMode.COMPILED and self.use_mqo:
+            stats = self.executor.last_tick_stats
+            report.shared_subplans = stats.get("shared_subplans", 0)
+            report.shared_subplans_evaluated = stats.get("shared_subplans_evaluated", 0)
+            report.shared_evaluations_saved = stats.get("evaluations_saved", 0)
+            report.fused_effect_rows = stats.get("fused_effect_rows", 0)
 
         # -- update step -----------------------------------------------------------------------
         started = time.perf_counter()
+        if transactions and self._transaction_engine is None:
+            # Without a transaction engine atomic blocks degrade to plain
+            # effect assignments (documented behaviour).  They are folded
+            # in *before* the single combine below — combining first and
+            # re-combining the whole store from scratch afterwards did the
+            # per-tick aggregation twice.
+            for request in transactions:
+                store.add_all(request.assignments)
         combined = store.combine()
         self.last_effects = combined
-        if transactions:
-            if self._transaction_engine is not None:
-                self._transaction_engine.submit(transactions)
-            else:
-                # Without a transaction engine atomic blocks degrade to plain
-                # effect assignments (documented behaviour).
-                for request in transactions:
-                    store.add_all(request.assignments)
-                combined = store.combine()
-                self.last_effects = combined
+        if transactions and self._transaction_engine is not None:
+            self._transaction_engine.submit(transactions)
         updates = self.updates.compute_all(self, combined)
         self._apply_updates(updates)
         report.state_updates_applied = len(updates)
@@ -388,11 +424,15 @@ class GameWorld:
         report.reactive_seconds = time.perf_counter() - started
 
         # -- index advisor: create/evict indexes for hot band joins -----------------------------
+        started = time.perf_counter()
         if self.index_advisor is not None and self.index_advisor.end_tick():
             # The catalog shape changed; replan so the next tick's queries
             # probe (or stop probing) the adjusted index set.
             self.executor.invalidate_plans()
+        report.advisor_seconds = time.perf_counter() - started
 
+        report.plan_cache_hits = self.executor.plan_cache_hits - cache_hits
+        report.plan_cache_misses = self.executor.plan_cache_misses - cache_misses
         self.tick_count += 1
         self.reports.append(report)
         return report
@@ -407,14 +447,17 @@ class GameWorld:
     def _maybe_register_incremental(self, query: Any) -> None:
         """Offer one compiled effect query to the incremental planner.
 
-        Registration is per-query and sticky.  Transactional queries are
-        skipped (the transaction engine observes row order when resolving
-        conflicts), as are queries whose target effect combines with an
+        Registration is per-query and sticky, memoized on the compiler's
+        stable ``query_id`` — ``id(query)`` values can be recycled after
+        garbage collection, which would silently skip a fresh query or
+        re-consider a dead one.  Transactional queries are skipped (the
+        transaction engine observes row order when resolving conflicts),
+        as are queries whose target effect combines with an
         order-sensitive combinator; everything else is handed to
         :meth:`Executor.register_incremental`, which itself declines plans
         it cannot prove delta-correct.
         """
-        key = id(query)
+        key = query.query_id or f"anon:{id(query)}"
         if key in self._incremental_considered:
             return
         self._incremental_considered.add(key)
@@ -431,33 +474,86 @@ class GameWorld:
                     return
         self.executor.register_incremental(query.plan)
 
+    def _tick_queries(self) -> list[Any]:
+        """The tick's effect queries in execution order (scripts as enabled,
+        segments ascending, assignment sites in source order)."""
+        queries: list[Any] = []
+        for script_name in self._enabled_scripts:
+            compiled = self.compiled.script(script_name)
+            for segment_index in sorted(compiled.queries_by_segment):
+                queries.extend(compiled.queries_by_segment[segment_index])
+        return queries
+
+    def _sink_combinator(self, query: Any) -> str | None:
+        """The combinator to fuse in-engine, or ``None`` to stay row-at-a-time.
+
+        Transactional queries need per-row actor columns for transaction
+        reassembly, and order-sensitive combinators need full-execution
+        row order through the store — both keep the row path (the same
+        fallback discipline as the incremental and index-probe paths).
+        """
+        if query.transactional:
+            return None
+        combinator = query.combinator or "choose"
+        if combinator in self._ORDER_SENSITIVE_COMBINATORS:
+            return None
+        return combinator
+
     def _run_compiled(
         self, store: EffectStore, transactions: list[TransactionRequest]
     ) -> None:
         pending: dict[tuple[str, int, Any], list[EffectAssignment]] = {}
         pending_constraints: dict[tuple[str, int, Any], tuple[SglExpression, ...]] = {}
         pending_class: dict[tuple[str, int, Any], str] = {}
-        for script_name in self._enabled_scripts:
-            compiled = self.compiled.script(script_name)
-            for segment_index in sorted(compiled.queries_by_segment):
-                for query in compiled.queries_by_segment[segment_index]:
-                    self._maybe_register_incremental(query)
-                    result = self.executor.execute(query.plan)
-                    for row in result.rows:
-                        assignment = EffectAssignment(
-                            class_name=query.target_class,
-                            target_id=row[TARGET_COLUMN],
-                            effect=query.effect,
-                            value=row[VALUE_COLUMN],
-                            set_insert=query.set_insert,
+        queries = self._tick_queries()
+        for query in queries:
+            self._maybe_register_incremental(query)
+
+        def consume_rows(query: Any, rows: Iterable[Mapping[str, Any]]) -> None:
+            for row in rows:
+                assignment = EffectAssignment(
+                    class_name=query.target_class,
+                    target_id=row[TARGET_COLUMN],
+                    effect=query.effect,
+                    value=row[VALUE_COLUMN],
+                    set_insert=query.set_insert,
+                )
+                if query.transactional:
+                    key = (query.script_name, query.block_index, row[ACTOR_COLUMN])
+                    pending.setdefault(key, []).append(assignment)
+                    pending_constraints[key] = query.constraints
+                    pending_class[key] = query.class_name
+                else:
+                    store.add(assignment)
+
+        if self.use_mqo:
+            specs = [
+                TickQuerySpec(
+                    key=query.query_id or f"anon:{index}",
+                    plan=query.plan,
+                    combinator=self._sink_combinator(query),
+                    target_column=TARGET_COLUMN,
+                    value_column=VALUE_COLUMN,
+                )
+                for index, query in enumerate(queries)
+            ]
+            results = self.executor.execute_tick(specs)
+            for query, result in zip(queries, results):
+                if result.partials is not None:
+                    for target_id, partial, count in result.partials:
+                        store.add_partial(
+                            query.target_class,
+                            target_id,
+                            query.effect,
+                            partial,
+                            count,
+                            query.set_insert,
                         )
-                        if query.transactional:
-                            key = (query.script_name, query.block_index, row[ACTOR_COLUMN])
-                            pending.setdefault(key, []).append(assignment)
-                            pending_constraints[key] = query.constraints
-                            pending_class[key] = query.class_name
-                        else:
-                            store.add(assignment)
+                else:
+                    consume_rows(query, result.rows or ())
+        else:
+            for query in queries:
+                consume_rows(query, self.executor.execute(query.plan).rows)
         for key, assignments in pending.items():
             script_name, block_index, actor_id = key
             transactions.append(

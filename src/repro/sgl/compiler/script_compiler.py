@@ -64,7 +64,7 @@ from repro.sgl.errors import SGLCompileError
 from repro.sgl.ir import ACTOR_COLUMN, EffectQuery, TARGET_COLUMN, VALUE_COLUMN
 from repro.sgl.multitick import SegmentedScript, pc_variable_name, segment_script
 from repro.sgl.schema_gen import GeneratedSchema, SchemaGenerator
-from repro.sgl.semantics import AnalyzedProgram, COMBINATOR_ALIASES
+from repro.sgl.semantics import AnalyzedProgram, COMBINATOR_ALIASES, resolve_combinator
 
 __all__ = ["CompiledScript", "CompiledProgram", "SGLCompiler"]
 
@@ -345,7 +345,18 @@ class _SegmentCompiler:
                 block_index=self._atomic_counter if atomic is not None else 0,
                 description=f"{self.script.name}:{getattr(statement, 'line', 0)} "
                 f"{effect_name} <- ...",
+                query_id=f"{self.script.name}/{self.segment_index}/{len(self.queries)}",
+                combinator=self._effect_combinator(target_class, effect_name, set_insert),
             )
+        )
+
+    def _effect_combinator(self, target_class: str, effect: str, set_insert: bool) -> str:
+        """The resolved ⊕ combinator of the target effect, via the same
+        :func:`~repro.sgl.semantics.resolve_combinator` the runtime effect
+        store uses, so the engine-side effect sink and the store can never
+        disagree."""
+        return resolve_combinator(
+            self.compiler.analyzed.class_named(target_class), effect, set_insert
         )
 
     def _resolve_target(

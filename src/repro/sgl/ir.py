@@ -93,3 +93,12 @@ class EffectQuery:
     block_index: int = 0
     #: Human-readable provenance used by the debugger (Section 3.3).
     description: str = ""
+    #: Stable identity ``script/segment/site`` assigned by the compiler.
+    #: Unlike ``id(query)`` it survives garbage collection and recompiles,
+    #: so the runtime can memoize per-query decisions (incremental
+    #: registration, tick-pipeline membership) without id-reuse hazards.
+    query_id: str = ""
+    #: Resolved ⊕ combinator of the target effect (aliases normalized;
+    #: ``union`` for set-inserts).  Lets the engine fuse effect
+    #: aggregation into the plan without consulting SGL declarations.
+    combinator: str = "choose"

@@ -55,7 +55,14 @@ from repro.sgl.ast_nodes import (
 )
 from repro.sgl.errors import SGLSemanticError
 
-__all__ = ["SymbolKind", "Symbol", "ScriptInfo", "AnalyzedProgram", "analyze_program"]
+__all__ = [
+    "SymbolKind",
+    "Symbol",
+    "ScriptInfo",
+    "AnalyzedProgram",
+    "analyze_program",
+    "resolve_combinator",
+]
 
 #: Effect combinators accepted in class declarations, mapped to the engine
 #: aggregate that implements them.  ``or``/``and`` are aliases game scripts
@@ -65,6 +72,26 @@ COMBINATOR_ALIASES: Mapping[str, str] = {
     "and": "all",
     **{name: name for name in AGGREGATE_NAMES},
 }
+
+
+def resolve_combinator(class_decl, effect: str, set_insert: bool = False) -> str:
+    """The resolved ⊕ combinator for one effect assignment.
+
+    The single source of truth shared by the runtime effect store and the
+    compiler's sink-fusion metadata — they must never disagree, or the
+    engine would combine a query's rows with one combinator and the store
+    would merge the partial under another.  Set-inserts (``<=``) always
+    combine with union regardless of the declaration, matching the
+    paper's container semantics; an unknown effect (e.g. synthetic
+    effects used by update components) defaults to ``choose`` so a single
+    writer behaves like plain assignment.  ``class_decl`` may be ``None``.
+    """
+    if set_insert:
+        return "union"
+    effect_decl = class_decl.effect_field(effect) if class_decl is not None else None
+    if effect_decl is None:
+        return "choose"
+    return COMBINATOR_ALIASES.get(effect_decl.combinator, effect_decl.combinator)
 
 _TYPE_NAMES = ("number", "bool", "string", "ref", "set")
 

@@ -61,6 +61,7 @@ def build_marketplace_world(
     seed: int = 11,
     use_batch: bool = True,
     use_incremental: bool = True,
+    use_mqo: bool = True,
 ) -> GameWorld:
     """A marketplace with ``n_buyers`` buyers contending over shared sellers.
 
@@ -69,7 +70,11 @@ def build_marketplace_world(
     per seller before the ``stock >= 0`` constraint aborts the rest.
     """
     world = GameWorld(
-        MARKET_SOURCE, mode=mode, use_batch=use_batch, use_incremental=use_incremental
+        MARKET_SOURCE,
+        mode=mode,
+        use_batch=use_batch,
+        use_incremental=use_incremental,
+        use_mqo=use_mqo,
     )
     engine = TransactionEngine(
         owned={"Trader": {"gold_delta": "gold", "stock_delta": "stock"}},

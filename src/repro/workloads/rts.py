@@ -95,6 +95,7 @@ def build_rts_world(
     use_batch: bool = True,
     use_incremental: bool = True,
     auto_index: bool = True,
+    use_mqo: bool = True,
 ) -> GameWorld:
     """Build a ready-to-tick RTS world with *n_units* units."""
     world = GameWorld(
@@ -106,6 +107,7 @@ def build_rts_world(
         use_batch=use_batch,
         use_incremental=use_incremental,
         auto_index=auto_index,
+        use_mqo=use_mqo,
     )
     world.add_update_rule(
         "Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0)

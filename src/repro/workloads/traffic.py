@@ -85,6 +85,7 @@ def build_traffic_world(
     use_batch: bool = True,
     use_incremental: bool = True,
     auto_index: bool = True,
+    use_mqo: bool = True,
 ) -> GameWorld:
     """A ring-road traffic world; positions wrap around at ``road_length``."""
     world = GameWorld(
@@ -93,6 +94,7 @@ def build_traffic_world(
         use_batch=use_batch,
         use_incremental=use_incremental,
         auto_index=auto_index,
+        use_mqo=use_mqo,
     )
     world.add_update_rule(
         "Vehicle",
