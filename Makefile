@@ -1,14 +1,16 @@
 # Development entry points.  Each target mirrors a CI job exactly:
 # `make check` = the test job, `make lint` = the lint job,
+# `make examples` = the examples smoke job (every script in examples/),
 # `make bench-incremental` = the incremental speedup gate,
 # `make bench-index` = the index-join speedup gate,
 # `make bench-shared` = the shared-plan (MQO) speedup gate,
+# `make bench-subscriptions` = the subscription fan-out speedup gate,
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke lint bench bench-columnar bench-incremental bench-index bench-shared bench-ci
+.PHONY: check test smoke examples lint bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -20,6 +22,13 @@ test:
 ## Smoke: the quickstart example must run end to end.
 smoke:
 	$(PYTHON) examples/quickstart.py
+
+## Smoke every example script end to end (the CI examples job).
+examples:
+	@set -e; for script in examples/*.py; do \
+		echo "== $$script"; \
+		$(PYTHON) $$script > /dev/null; \
+	done; echo "all examples ran cleanly"
 
 ## Lint (same command as the CI lint job; `pip install ruff` if missing).
 lint:
@@ -44,6 +53,10 @@ bench-index:
 ## Shared-plan-pipeline-vs-per-query benchmarks incl. the >=2x gate.
 bench-shared:
 	$(PYTHON) -m pytest benchmarks/bench_shared_plans.py -q -s
+
+## Subscription delta-fan-out-vs-re-query benchmarks incl. the >=5x gate.
+bench-subscriptions:
+	$(PYTHON) -m pytest benchmarks/bench_subscriptions.py -q -s
 
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:

@@ -14,7 +14,11 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
 * the shared many-scripts scenario (``benchmarks/shared_plans_scenario.py``)
   timed through the tick pipeline (``Executor.execute_tick``, shared
   subplans evaluated once per tick) and per-query, yielding the
-  multi-query-optimization speedup.
+  multi-query-optimization speedup,
+* the shared subscription-serving scenario
+  (``benchmarks/subscription_scenario.py``, 1k subscribers / 1% churn)
+  timed as delta fan-out (``SubscriptionManager.flush``) and as naive
+  per-client re-query, yielding the subscription fan-out speedup.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -22,6 +26,11 @@ drops by more than ``--tolerance`` (default 20%).  Absolute tick times are
 recorded in the artifact but never gated — CI runners differ too much in
 raw speed for wall-clock thresholds to be meaningful; the ratios between
 paths on the same machine are stable.
+
+Every run also *appends* its gated metrics (plus the workload tick
+medians) to the ``history`` list carried forward from the previous
+``BENCH_tick.json``, so the artifact accumulates the perf trajectory
+across CI runs instead of holding only the latest sample.
 
 Usage::
 
@@ -47,6 +56,7 @@ sys.path.insert(
 
 import index_join_scenario  # noqa: E402
 import shared_plans_scenario  # noqa: E402
+import subscription_scenario  # noqa: E402
 from incremental_scenario import (  # noqa: E402
     CHURN_FRACTION,
     SEED,
@@ -56,6 +66,7 @@ from incremental_scenario import (  # noqa: E402
 )
 from repro import ExecutionMode  # noqa: E402
 from repro.engine.executor import Executor  # noqa: E402
+from repro.service.subscriptions import SubscriptionManager  # noqa: E402
 from repro.workloads import build_rts_world  # noqa: E402
 from repro.workloads.marketplace import build_marketplace_world  # noqa: E402
 from repro.workloads.traffic import build_traffic_world  # noqa: E402
@@ -70,6 +81,7 @@ GATED_METRICS = {
     "index_join.speedup_vs_rebuild": "index-probing band join vs per-tick grid rebuild",
     "index_join.speedup_vs_row": "index-probing band join vs row path",
     "shared_plans.speedup_vs_unshared": "tick-wide shared-subplan pipeline vs per-query execution",
+    "subscriptions.fanout_speedup": "subscription delta fan-out vs naive per-client re-query",
 }
 
 
@@ -192,6 +204,41 @@ def bench_shared_plans(ticks: int = 15) -> dict:
     }
 
 
+def bench_subscriptions(ticks: int = 8) -> dict:
+    catalog, units = subscription_scenario.build_units_catalog()
+    plans = subscription_scenario.client_plans()
+    manager = SubscriptionManager(catalog=catalog, executor=Executor(catalog))
+    sessions, _ = subscription_scenario.subscribe_clients(manager, plans)
+    for session in sessions:
+        session.take()
+    naive_exec = Executor(catalog, use_incremental=False)
+    subscription_scenario.naive_tick(naive_exec, plans)  # warm plan cache
+    rng = random.Random(subscription_scenario.SEED)
+    delta_total = naive_total = 0.0
+    messages = 0
+    for tick in range(ticks):
+        subscription_scenario.churn_step(units, rng)
+        start = time.perf_counter()
+        manager.flush(tick)
+        for session in sessions:
+            messages += len(session.take())
+        delta_total += time.perf_counter() - start
+        start = time.perf_counter()
+        subscription_scenario.naive_tick(naive_exec, plans)
+        naive_total += time.perf_counter() - start
+    return {
+        "ticks": ticks,
+        "rows": len(units),
+        "subscribers": len(plans),
+        "churn_fraction": subscription_scenario.CHURN_FRACTION,
+        "query_groups": manager.stats()["query_groups"],
+        "messages": messages,
+        "delta_seconds": round(delta_total, 6),
+        "naive_seconds": round(naive_total, 6),
+        "fanout_speedup": round(naive_total / delta_total, 3),
+    }
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
@@ -199,6 +246,7 @@ def run_suite() -> dict:
         "incremental": bench_incremental(),
         "index_join": bench_index_join(),
         "shared_plans": bench_shared_plans(),
+        "subscriptions": bench_subscriptions(),
     }
 
 
@@ -226,6 +274,34 @@ def check_regressions(results: dict, baseline: dict, tolerance: float) -> list[s
     return failures
 
 
+def _append_history(results: dict, output_path: str, limit: int = 200) -> None:
+    """Carry the perf trajectory forward: load the previous artifact's
+    ``history``, append this run's gated metrics + workload medians, and
+    store it (bounded to *limit* entries) in the new results."""
+    history: list[dict] = []
+    try:
+        with open(output_path) as handle:
+            history = json.load(handle).get("history", [])
+            if not isinstance(history, list):
+                history = []
+    except (OSError, ValueError):
+        pass
+    entry: dict = {
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "metrics": {},
+        "workloads": {},
+    }
+    for metric in GATED_METRICS:
+        try:
+            entry["metrics"][metric] = float(_lookup(results, metric))
+        except (KeyError, TypeError):
+            continue
+    for name, data in results.get("workloads", {}).items():
+        entry["workloads"][name] = data.get("median_tick_seconds")
+    history.append(entry)
+    results["history"] = history[-limit:]
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default="BENCH_tick.json", help="where to write results")
@@ -239,6 +315,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     results = run_suite()
+    _append_history(results, args.output)
     with open(args.output, "w") as handle:
         json.dump(results, handle, indent=2, sort_keys=True)
         handle.write("\n")
@@ -246,8 +323,9 @@ def main(argv=None) -> int:
     print(json.dumps(results, indent=2, sort_keys=True))
 
     if args.write_baseline:
+        baseline = {k: v for k, v in results.items() if k != "history"}
         with open(BASELINE_DEFAULT, "w") as handle:
-            json.dump(results, handle, indent=2, sort_keys=True)
+            json.dump(baseline, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote baseline {BASELINE_DEFAULT}")
         return 0

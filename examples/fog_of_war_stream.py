@@ -1,0 +1,61 @@
+"""Fog of war over the wire: AOI subscriptions streamed as deltas.
+
+An RTS world runs server-side; a client connects over TCP (JSON lines),
+subscribes to an area-of-interest view following one of its units plus a
+standing "my team" roster query, and maintains both views purely from the
+snapshot-then-delta stream — no polling, no re-queries.  Run it:
+
+    PYTHONPATH=src python examples/fog_of_war_stream.py
+"""
+
+import asyncio
+
+from repro.service.server import SubscriptionClient, SubscriptionServer
+from repro.workloads.rts import build_rts_world
+
+OBSERVER_ID = 4
+VISION = 14.0
+TICKS = 8
+
+
+async def main() -> None:
+    world = build_rts_world(80, seed=17)
+    server = SubscriptionServer(world)  # port 0: pick a free port
+    await server.start()
+    host, port = server.address
+    print(f"subscription server on {host}:{port} — world of {world.count('Unit')} units")
+
+    client = SubscriptionClient(host, port)
+    await client.connect()
+    vision_sub = await client.subscribe_aoi("Unit", radius=VISION, observer_id=OBSERVER_ID)
+    roster_sub = await client.subscribe_table("Unit", filter=[["player", "==", 0]])
+    print(
+        f"subscribed: AOI (unit {OBSERVER_ID}, vision {VISION}) -> initial "
+        f"{len(client.rows(vision_sub))} visible; team roster -> "
+        f"{len(client.rows(roster_sub))} units"
+    )
+
+    for tick in range(TICKS):
+        await server.step()  # one world tick: deltas computed once, fanned out
+        await client.pump()
+        visible = client.rows(vision_sub)
+        enemies = [r for r in visible if r["player"] == 1]
+        print(
+            f"tick {tick}: observer sees {len(visible)} units "
+            f"({len(enemies)} hostile), roster {len(client.rows(roster_sub))}, "
+            f"stream applied {client.results[vision_sub].deltas_applied} deltas "
+            f"/ {client.results[vision_sub].snapshots_applied} snapshots"
+        )
+
+    report = world.reports[-1]
+    print(
+        f"last tick: flush {report.flush_seconds * 1e3:.2f} ms for "
+        f"{report.subscription_messages} messages "
+        f"({report.subscription_delta_rows} delta rows)"
+    )
+    await client.close()
+    await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

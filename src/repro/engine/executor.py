@@ -295,6 +295,18 @@ class Executor:
         self._tick_pipeline = None
         self._shared_results.clear()
 
+    def release_plan(self, plan: LogicalPlan) -> None:
+        """Drop one plan's cache entry and incremental registration only.
+
+        The narrow teardown for an external consumer (e.g. a subscription
+        group) that owned the plan and went away: unlike
+        :meth:`invalidate` it leaves the tick pipeline and shared
+        materializations alone, so releasing an unrelated plan never
+        forces the multi-query pipeline to recompile.
+        """
+        self._cache.pop(id(plan), None)
+        self._incremental.pop(id(plan), None)
+
     def invalidate_plans(self) -> None:
         """Drop cached physical plans, keeping incremental registrations.
 

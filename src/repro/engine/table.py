@@ -31,7 +31,7 @@ from repro.engine.schema import Column, Schema
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from repro.engine.batch import ColumnBatch
 
-__all__ = ["Table", "RowId"]
+__all__ = ["Table", "TableIndex", "ChangeCursor", "RowId"]
 
 RowId = int
 
@@ -269,6 +269,25 @@ class Table:
                 added.append(current)
         return added, removed
 
+    def open_cursor(self, capacity: int | None = None) -> "ChangeCursor":
+        """Register a change-log consumer positioned at the current version.
+
+        Enables the change log if necessary (growing its capacity when
+        *capacity* asks for more; see :meth:`enable_change_log`) and returns
+        a :class:`ChangeCursor` whose :meth:`ChangeCursor.poll` serves the
+        net deltas accumulated since its last poll.  Cursors are
+        independent: each tracks its own base version over the one shared
+        log, so any number of consumers (subscription groups, interest
+        managers, tooling) can stream the same table.
+
+        An already-enabled log keeps its configured capacity unless
+        *capacity* explicitly asks for more — opening a cursor must not
+        silently override an operator's bound.
+        """
+        if not self.change_log_enabled or capacity is not None:
+            self.enable_change_log(capacity)
+        return ChangeCursor(self)
+
     def changes_pending(self, version: int) -> int | None:
         """Number of logged mutations newer than *version*, or ``None``.
 
@@ -481,6 +500,60 @@ class Table:
             if best is None or len(index_columns) > len(best[1].columns):
                 best = (name, index)
         return best
+
+
+class ChangeCursor:
+    """A consumer's position in a table's change log.
+
+    Created by :meth:`Table.open_cursor`.  Each :meth:`poll` returns the
+    *net* row changes since the previous poll (or since creation) and
+    advances the cursor to the table's current version.  ``None`` signals a
+    **lost delta**: the log was truncated past the cursor (capacity
+    eviction), reset by a bulk rewrite (``clear`` / ``restore`` / schema
+    replacement), or disabled — the consumer must resynchronize from a full
+    scan.  The cursor itself survives the gap: it re-anchors at the current
+    version, so subsequent polls stream deltas again.
+    """
+
+    __slots__ = ("_table", "_version", "polls", "lost_deltas")
+
+    def __init__(self, table: Table):
+        self._table = table
+        self._version = table.version
+        #: Total number of :meth:`poll` calls (tooling/tests).
+        self.polls = 0
+        #: How many polls could not be served from the log (forced resyncs).
+        self.lost_deltas = 0
+
+    @property
+    def table(self) -> Table:
+        return self._table
+
+    @property
+    def version(self) -> int:
+        """The table version this cursor has consumed up to."""
+        return self._version
+
+    @property
+    def pending(self) -> int | None:
+        """Logged mutations not yet polled, or ``None`` if unserviceable."""
+        return self._table.changes_pending(self._version)
+
+    def poll(self) -> tuple[list[dict[str, Any]], list[dict[str, Any]]] | None:
+        """Net ``(added, removed)`` since the last poll, else ``None``.
+
+        ``added`` entries are shared references to the stored rows (treat
+        as read-only; copy before retaining), ``removed`` entries are the
+        retained pre-mutation copies — the same contract as
+        :meth:`Table.changes_since`.  Always advances to the current
+        version, even on a lost delta.
+        """
+        self.polls += 1
+        delta = self._table.changes_since(self._version)
+        self._version = self._table.version
+        if delta is None:
+            self.lost_deltas += 1
+        return delta
 
 
 class TableIndex:

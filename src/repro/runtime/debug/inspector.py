@@ -120,9 +120,11 @@ class TickInspector:
         bookkeeping: how long the index-advisor/replan step took
         (``advisor_seconds``), how the executor's plan cache behaved
         (``plan_cache_hits`` / ``plan_cache_misses`` — a miss after warmup
-        means something invalidated plans), and what tick-wide sharing
+        means something invalidated plans), what tick-wide sharing
         bought (``shared_subplans``, ``shared_evaluations_saved``,
-        ``fused_effect_rows``).
+        ``fused_effect_rows``), and what the subscription flush phase
+        streamed (``flush_seconds``, ``subscription_messages``,
+        ``subscription_delta_rows``).
         """
         if not self.world.reports:
             return {}
@@ -133,6 +135,7 @@ class TickInspector:
             "update_step_seconds": report.update_step_seconds,
             "reactive_seconds": report.reactive_seconds,
             "advisor_seconds": report.advisor_seconds,
+            "flush_seconds": report.flush_seconds,
             "total_seconds": report.total_seconds,
             "plan_cache_hits": report.plan_cache_hits,
             "plan_cache_misses": report.plan_cache_misses,
@@ -140,6 +143,8 @@ class TickInspector:
             "shared_subplans_evaluated": report.shared_subplans_evaluated,
             "shared_evaluations_saved": report.shared_evaluations_saved,
             "fused_effect_rows": report.fused_effect_rows,
+            "subscription_messages": report.subscription_messages,
+            "subscription_delta_rows": report.subscription_delta_rows,
         }
 
     def sharing_report(self) -> dict[str, Any]:

@@ -71,6 +71,9 @@ class TickReport:
     #: Index-advisor bookkeeping + replanning at the end of the tick
     #: (previously untimed, so advisor-heavy ticks looked free).
     advisor_seconds: float = 0.0
+    #: Subscription flush phase: per-group delta computation + fan-out to
+    #: session outboxes (zero when no subscription manager is attached).
+    flush_seconds: float = 0.0
     effect_assignments: int = 0
     transactions_submitted: int = 0
     transactions_committed: int = 0
@@ -90,6 +93,10 @@ class TickReport:
     #: Effect rows combined in-engine by sink fusion (instead of one
     #: EffectAssignment per row through the store).
     fused_effect_rows: int = 0
+    #: Subscription service: messages fanned out this tick and signed
+    #: delta rows they carried (see ``SubscriptionManager.flush``).
+    subscription_messages: int = 0
+    subscription_delta_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -98,6 +105,7 @@ class TickReport:
             + self.update_step_seconds
             + self.reactive_seconds
             + self.advisor_seconds
+            + self.flush_seconds
         )
 
 
@@ -165,6 +173,9 @@ class GameWorld:
             self.updates.register(self.scheduler)
         self.reactive = ReactiveDispatcher()
         self._transaction_engine: TransactionEngine | None = None
+
+        #: Live subscription service (created lazily by :attr:`subscriptions`).
+        self._subscription_manager = None
 
         self._next_ids: dict[str, int] = {decl.name: 0 for decl in self.program.classes}
         self._enabled_scripts: list[str] = [script.name for script in self.program.scripts]
@@ -346,6 +357,34 @@ class GameWorld:
         self.reactive.register(handler)
 
     # ------------------------------------------------------------------------------------------
+    # the subscription service
+    # ------------------------------------------------------------------------------------------
+
+    @property
+    def subscriptions(self):
+        """The world's :class:`~repro.service.subscriptions.SubscriptionManager`.
+
+        Created lazily on first access and attached to the tick loop: once
+        any session subscribes, every :meth:`tick` ends with a *flush
+        phase* that computes each standing query's delta once and fans it
+        out to all subscriber outboxes (timed in
+        ``TickReport.flush_seconds``).  Worlds that never touch this
+        property pay nothing.
+        """
+        if self._subscription_manager is None:
+            from repro.service.subscriptions import SubscriptionManager
+
+            self._subscription_manager = SubscriptionManager(world=self)
+        return self._subscription_manager
+
+    @property
+    def has_subscribers(self) -> bool:
+        return (
+            self._subscription_manager is not None
+            and self._subscription_manager.subscription_count() > 0
+        )
+
+    # ------------------------------------------------------------------------------------------
     # the tick loop
     # ------------------------------------------------------------------------------------------
 
@@ -422,6 +461,14 @@ class GameWorld:
             )
         report.handlers_fired = len(fired)
         report.reactive_seconds = time.perf_counter() - started
+
+        # -- subscription flush: stream this tick's deltas to subscribers -----------------------
+        started = time.perf_counter()
+        if self._subscription_manager is not None:
+            flush_stats = self._subscription_manager.flush(report.tick)
+            report.subscription_messages = flush_stats.get("messages", 0)
+            report.subscription_delta_rows = flush_stats.get("delta_rows", 0)
+        report.flush_seconds = time.perf_counter() - started
 
         # -- index advisor: create/evict indexes for hot band joins -----------------------------
         started = time.perf_counter()

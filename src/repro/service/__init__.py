@@ -1,0 +1,37 @@
+"""The live subscription service: standing queries served as delta streams.
+
+Clients register **standing queries** over the game state — compiled query
+plans, filtered table scans, or spatial area-of-interest boxes — and
+receive a **snapshot-then-delta stream**: one initial materialized result,
+then per-tick signed row deltas computed *once per distinct query* and
+fanned out to every subscriber, instead of re-running each client's query
+per tick.  See :mod:`repro.service.subscriptions` for the architecture and
+``docs/ARCHITECTURE.md`` ("Subscription service") for the protocol.
+"""
+
+from repro.service.interest import AOISubscription, InterestManager
+from repro.service.outbox import Outbox, Session
+from repro.service.protocol import (
+    Delta,
+    ResultSet,
+    Snapshot,
+    SubscriptionMessage,
+    decode_message,
+    encode_message,
+)
+from repro.service.subscriptions import StandingQueryGroup, SubscriptionManager
+
+__all__ = [
+    "AOISubscription",
+    "InterestManager",
+    "Outbox",
+    "Session",
+    "Snapshot",
+    "Delta",
+    "SubscriptionMessage",
+    "ResultSet",
+    "StandingQueryGroup",
+    "SubscriptionManager",
+    "decode_message",
+    "encode_message",
+]

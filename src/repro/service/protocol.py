@@ -1,0 +1,203 @@
+"""Wire protocol of the subscription service: snapshot-then-delta streams.
+
+Every subscription delivers one :class:`Snapshot` (the standing query's
+materialized result at subscribe time) followed by a stream of
+:class:`Delta` messages — *signed row deltas*: rows entering the result
+(``added``) and rows leaving it (``removed``); an updated row appears in
+both lists (old values in ``removed``, new values in ``added``), exactly
+mirroring :meth:`repro.engine.table.Table.changes_since`.
+
+Applying the deltas in order to the snapshot reproduces, tick for tick,
+the result of re-running the standing query from scratch — that is the
+service's correctness contract, and :class:`ResultSet` is the reference
+applier used by the client, the tests and the benchmarks.  When the
+service cannot guarantee the contract cheaply (change-log overflow,
+slow-consumer outbox overflow) it re-sends a :class:`Snapshot` with a
+``resync`` reason instead of a delta; the client replaces its state and
+the stream continues.
+
+Messages serialize to JSON lines for the TCP server
+(:mod:`repro.service.server`); in-process consumers use the dataclasses
+directly.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+__all__ = [
+    "Snapshot",
+    "Delta",
+    "SubscriptionMessage",
+    "ResultSet",
+    "encode_message",
+    "decode_message",
+    "row_key",
+]
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """Full materialized result of a standing query at one tick."""
+
+    subscription_id: int
+    tick: int
+    rows: tuple[dict[str, Any], ...]
+    #: Why the snapshot was sent: ``"subscribe"`` for the initial
+    #: materialization, ``"resync:change-log"`` after a change-log
+    #: overflow/reset, ``"resync:outbox"`` after a slow consumer's outbox
+    #: overflowed and buffered deltas had to be dropped.
+    reason: str = "subscribe"
+
+
+@dataclass(frozen=True)
+class Delta:
+    """Signed row deltas of one standing query for one tick."""
+
+    subscription_id: int
+    tick: int
+    added: tuple[dict[str, Any], ...] = ()
+    removed: tuple[dict[str, Any], ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.added) + len(self.removed)
+
+
+SubscriptionMessage = Snapshot | Delta
+
+
+def row_key(row: Mapping[str, Any]) -> tuple:
+    """A hashable multiset identity for a result row.
+
+    Result rows are flat column→scalar mappings; the rare unhashable value
+    (a set effect materialized into a result) falls back to ``repr``.
+    """
+    items = []
+    for name in sorted(row):
+        value = row[name]
+        try:
+            hash(value)
+        except TypeError:
+            value = repr(value)
+        items.append((name, value))
+    return tuple(items)
+
+
+@dataclass
+class ResultSet:
+    """Client-side materialization of one subscription's stream.
+
+    Maintains the row *multiset* (standing queries may produce duplicate
+    rows, e.g. projections).  ``apply`` consumes messages in stream order;
+    ``rows()`` returns the current result.  Removing a row the set does not
+    hold raises — the stream protocol guarantees it never happens, so a
+    miss is a service bug the tests must surface.
+    """
+
+    _counts: dict[tuple, int] = field(default_factory=dict)
+    _rows: dict[tuple, dict[str, Any]] = field(default_factory=dict)
+    last_tick: int = -1
+    snapshots_applied: int = 0
+    deltas_applied: int = 0
+
+    def apply(self, message: SubscriptionMessage) -> None:
+        if isinstance(message, Snapshot):
+            self._counts.clear()
+            self._rows.clear()
+            for row in message.rows:
+                self._add(dict(row))
+            self.snapshots_applied += 1
+        else:
+            for row in message.removed:
+                self._remove(row)
+            for row in message.added:
+                self._add(dict(row))
+            self.deltas_applied += 1
+        self.last_tick = message.tick
+
+    def _add(self, row: dict[str, Any]) -> None:
+        key = row_key(row)
+        self._counts[key] = self._counts.get(key, 0) + 1
+        self._rows[key] = row
+
+    def _remove(self, row: Mapping[str, Any]) -> None:
+        key = row_key(row)
+        count = self._counts.get(key, 0)
+        if count <= 0:
+            raise ValueError(f"delta removes a row the result set does not hold: {dict(row)!r}")
+        if count == 1:
+            del self._counts[key]
+            del self._rows[key]
+        else:
+            self._counts[key] = count - 1
+
+    def rows(self) -> list[dict[str, Any]]:
+        out: list[dict[str, Any]] = []
+        for key, count in self._counts.items():
+            out.extend(dict(self._rows[key]) for _ in range(count))
+        return out
+
+    def counts(self) -> dict[tuple, int]:
+        """The multiset as ``row_key → count`` (order-insensitive compare)."""
+        return dict(self._counts)
+
+    def __len__(self) -> int:
+        return sum(self._counts.values())
+
+
+# -- JSON-lines codec (the TCP server's wire format) ----------------------------------
+
+
+def encode_message(message: SubscriptionMessage) -> str:
+    """One JSON line (no trailing newline) for *message*."""
+    if isinstance(message, Snapshot):
+        payload = {
+            "type": "snapshot",
+            "id": message.subscription_id,
+            "tick": message.tick,
+            "reason": message.reason,
+            "rows": list(message.rows),
+        }
+    else:
+        payload = {
+            "type": "delta",
+            "id": message.subscription_id,
+            "tick": message.tick,
+            "added": list(message.added),
+            "removed": list(message.removed),
+        }
+    return json.dumps(payload, sort_keys=True, default=_encode_fallback)
+
+
+def _encode_fallback(value: Any) -> Any:
+    if isinstance(value, (set, frozenset)):
+        return sorted(value, key=repr)
+    return repr(value)
+
+
+def decode_message(line: str) -> SubscriptionMessage:
+    """Parse one JSON line back into a message dataclass."""
+    payload = json.loads(line)
+    kind = payload.get("type")
+    if kind == "snapshot":
+        return Snapshot(
+            subscription_id=payload["id"],
+            tick=payload["tick"],
+            rows=tuple(payload["rows"]),
+            reason=payload.get("reason", "subscribe"),
+        )
+    if kind == "delta":
+        return Delta(
+            subscription_id=payload["id"],
+            tick=payload["tick"],
+            added=tuple(payload["added"]),
+            removed=tuple(payload["removed"]),
+        )
+    raise ValueError(f"unknown message type {kind!r}")
+
+
+def freeze_rows(rows: Iterable[Mapping[str, Any]]) -> tuple[dict[str, Any], ...]:
+    """Copy *rows* into the tuple-of-fresh-dicts form messages carry."""
+    return tuple(dict(row) for row in rows)

@@ -16,7 +16,7 @@ from repro.runtime.physics import PhysicsComponent, PhysicsConfig
 from repro.runtime.world import ExecutionMode, GameWorld
 from repro.sgl.schema_gen import SchemaLayout
 
-__all__ = ["RTS_SOURCE", "unit_rows", "build_rts_world"]
+__all__ = ["RTS_SOURCE", "unit_rows", "build_rts_world", "attach_fog_of_war"]
 
 RTS_SOURCE = """
 class Unit {
@@ -130,3 +130,43 @@ def build_rts_world(
             world.enable_script(name)
     world.spawn_many("Unit", unit_rows(n_units, world_size, seed))
     return world
+
+
+def attach_fog_of_war(
+    world: GameWorld,
+    n_observers: int = 8,
+    vision: float = 12.0,
+    seed: int = 29,
+):
+    """Attach "fog of war" observer streams to an RTS world.
+
+    Each observer plays the role of one connected client following one of
+    its units: an area-of-interest subscription on the ``Unit`` extent,
+    centered on the observer unit and moving with it, so the client sees
+    exactly the units inside its vision box — streamed as per-tick deltas
+    instead of a fresh range query every tick (Section 4.1's "many
+    concurrent players" serving model).
+
+    Returns ``(manager, sessions, subscription_ids)``; drain each session
+    with ``session.take()`` after ticking.
+    """
+    manager = world.subscriptions
+    unit_ids = [row["id"] for row in world.objects("Unit")]
+    if not unit_ids:
+        raise ValueError("attach_fog_of_war needs a populated world")
+    rng = random.Random(seed)
+    observers = rng.sample(unit_ids, min(n_observers, len(unit_ids)))
+    sessions = []
+    subscription_ids = []
+    for object_id in observers:
+        session = manager.connect(f"observer-{object_id}")
+        sub_id = manager.subscribe_aoi(
+            session,
+            "Unit",
+            radius=vision,
+            dims=("x", "y"),
+            observer_id=object_id,
+        )
+        sessions.append(session)
+        subscription_ids.append(sub_id)
+    return manager, sessions, subscription_ids

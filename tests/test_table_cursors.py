@@ -1,0 +1,226 @@
+"""Change-log consumer cursors: the edge cases the subscription service
+depends on (capacity eviction mid-stream, destroy() deltas, schema
+replacement/invalidation survival)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine import Catalog, Column, DataType, Schema
+from repro.engine.table import Table
+from repro.workloads.rts import build_rts_world
+
+
+def make_table(key: str | None = "id") -> Table:
+    schema = Schema(
+        [
+            Column("id", DataType.NUMBER, nullable=False),
+            Column("x", DataType.NUMBER),
+            Column("y", DataType.NUMBER),
+        ]
+    )
+    return Table("unit", schema, key=key)
+
+
+class TestCursorBasics:
+    def test_poll_nets_insert_update_delete(self):
+        table = make_table()
+        r0 = table.insert({"id": 0, "x": 1, "y": 1})
+        cursor = table.open_cursor()
+        assert cursor.poll() == ([], [])
+
+        r1 = table.insert({"id": 1, "x": 2, "y": 2})
+        table.update(r0, {"x": 5})
+        added, removed = cursor.poll()
+        assert sorted(r["id"] for r in added) == [0, 1]
+        assert [r["id"] for r in removed] == [0]
+        assert [r["x"] for r in removed] == [1]  # pre-mutation copy
+
+        table.delete(r1)
+        added, removed = cursor.poll()
+        assert added == []
+        assert [r["id"] for r in removed] == [1]
+
+    def test_insert_then_delete_nets_to_nothing(self):
+        table = make_table()
+        cursor = table.open_cursor()
+        rid = table.insert({"id": 7, "x": 0, "y": 0})
+        table.delete(rid)
+        assert cursor.poll() == ([], [])
+
+    def test_noop_update_nets_to_nothing(self):
+        table = make_table()
+        rid = table.insert({"id": 7, "x": 3, "y": 4})
+        cursor = table.open_cursor()
+        table.update(rid, {"x": 3})
+        assert cursor.poll() == ([], [])
+
+    def test_two_cursors_track_independent_positions(self):
+        table = make_table()
+        slow, fast = table.open_cursor(), table.open_cursor()
+        table.insert({"id": 1, "x": 1, "y": 1})
+        added, _ = fast.poll()
+        assert len(added) == 1
+        table.insert({"id": 2, "x": 2, "y": 2})
+        added, _ = fast.poll()
+        assert [r["id"] for r in added] == [2]
+        # The slow consumer still sees both, netted, in one poll.
+        added, removed = slow.poll()
+        assert sorted(r["id"] for r in added) == [1, 2]
+        assert removed == []
+
+
+class TestCapacityEviction:
+    def test_eviction_mid_stream_forces_resync(self):
+        table = make_table()
+        cursor = table.open_cursor(capacity=4)
+        for i in range(10):  # far beyond capacity: oldest entries dropped
+            table.insert({"id": i, "x": i, "y": i})
+        assert cursor.poll() is None
+        assert cursor.lost_deltas == 1
+        # The cursor re-anchored at the current version: streaming resumes.
+        table.insert({"id": 99, "x": 0, "y": 0})
+        added, removed = cursor.poll()
+        assert [r["id"] for r in added] == [99]
+        assert removed == []
+
+    def test_open_cursor_respects_preconfigured_capacity(self):
+        table = make_table()
+        table.enable_change_log(capacity=8)
+        cursor = table.open_cursor()  # must not silently grow the bound
+        for i in range(9):
+            table.insert({"id": i, "x": i, "y": i})
+        assert cursor.poll() is None
+
+    def test_open_cursor_can_grow_capacity(self):
+        table = make_table()
+        table.enable_change_log(capacity=4)
+        cursor = table.open_cursor(capacity=64)
+        for i in range(10):
+            table.insert({"id": i, "x": i, "y": i})
+        added, removed = cursor.poll()
+        assert len(added) == 10 and removed == []
+
+
+class TestDestroyDeltas:
+    def test_world_destroy_reaches_cursor_consumers(self):
+        world = build_rts_world(10, with_physics=False, use_incremental=False)
+        table = world.catalog.table(world.schemas["Unit"].primary_table)
+        cursor = table.open_cursor()
+        world.destroy("Unit", 3)
+        added, removed = cursor.poll()
+        assert added == []
+        assert [r["id"] for r in removed] == [3]
+
+    def test_destroy_during_tick_sequence(self):
+        world = build_rts_world(10, with_physics=False, use_incremental=False)
+        table = world.catalog.table(world.schemas["Unit"].primary_table)
+        cursor = table.open_cursor()
+        world.tick()
+        cursor.poll()
+        world.destroy("Unit", 5)
+        world.tick()
+        added, removed = cursor.poll()
+        assert 5 not in {r["id"] for r in added}
+        assert 5 in {r["id"] for r in removed}
+
+
+class TestSchemaReplacement:
+    def test_cursor_survives_schema_replacement(self):
+        table = make_table()
+        cursor = table.open_cursor()
+        table.insert({"id": 1, "x": 1, "y": 1})
+        new_schema = Schema(
+            [
+                Column("id", DataType.NUMBER, nullable=False),
+                Column("x", DataType.NUMBER),
+                Column("y", DataType.NUMBER),
+                Column("z", DataType.NUMBER, default=0),
+            ]
+        )
+        table.schema = new_schema
+        # Deltas across a schema change would mix row shapes: lost delta.
+        assert cursor.poll() is None
+        # But the cursor itself survives and resumes streaming.
+        table.insert({"id": 2, "x": 2, "y": 2, "z": 9})
+        added, removed = cursor.poll()
+        assert [r["id"] for r in added] == [2]
+        assert removed == []
+
+    def test_cursor_invalidated_by_clear_and_restore(self):
+        table = make_table()
+        table.insert({"id": 1, "x": 1, "y": 1})
+        snapshot = table.snapshot()
+        cursor = table.open_cursor()
+        table.clear()
+        assert cursor.poll() is None
+        table.restore(snapshot)
+        assert cursor.poll() is None
+        table.insert({"id": 2, "x": 0, "y": 0})
+        added, _ = cursor.poll()
+        assert [r["id"] for r in added] == [2]
+
+    def test_frozen_table_still_pollable(self):
+        table = make_table()
+        cursor = table.open_cursor()
+        table.insert({"id": 1, "x": 1, "y": 1})
+        table.freeze()
+        try:
+            added, removed = cursor.poll()
+            assert len(added) == 1 and removed == []
+        finally:
+            table.thaw()
+
+
+class TestCursorIntrospection:
+    def test_pending_counts_unpolled_mutations(self):
+        table = make_table()
+        cursor = table.open_cursor()
+        assert cursor.pending == 0
+        table.insert({"id": 1, "x": 1, "y": 1})
+        table.insert({"id": 2, "x": 2, "y": 2})
+        assert cursor.pending == 2
+        cursor.poll()
+        assert cursor.pending == 0
+
+    def test_poll_counters(self):
+        table = make_table()
+        cursor = table.open_cursor(capacity=2)
+        cursor.poll()
+        for i in range(5):
+            table.insert({"id": i, "x": 0, "y": 0})
+        cursor.poll()
+        assert cursor.polls == 2
+        assert cursor.lost_deltas == 1
+
+    def test_keyless_table_supports_cursors(self):
+        table = make_table(key=None)
+        cursor = table.open_cursor()
+        table.insert({"id": 1, "x": 1, "y": 1})
+        added, removed = cursor.poll()
+        assert len(added) == 1 and removed == []
+
+
+def test_enable_change_log_never_shrinks():
+    table = make_table()
+    table.enable_change_log(capacity=100)
+    table.enable_change_log(capacity=10)
+    cursor = table.open_cursor()
+    for i in range(50):
+        table.insert({"id": i, "x": 0, "y": 0})
+    added, removed = cursor.poll()
+    assert len(added) == 50 and removed == []
+
+
+def test_cursor_poll_returns_shared_added_references():
+    """`added` rows are shared references (documented contract): consumers
+    that retain them must copy — regression guard for the service's copies."""
+    table = make_table()
+    cursor = table.open_cursor()
+    rid = table.insert({"id": 1, "x": 1, "y": 1})
+    added, _ = cursor.poll()
+    assert added[0] is table.get(rid)
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))
