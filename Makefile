@@ -5,12 +5,14 @@
 # `make bench-index` = the index-join speedup gate,
 # `make bench-shared` = the shared-plan (MQO) speedup gate,
 # `make bench-subscriptions` = the subscription fan-out speedup gate,
+# `make bench-wal` = the WAL persist-overhead + replay speedup gates,
+# `make cov` = the coverage job (pytest --cov, fails under the floor),
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke examples lint bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-ci
+.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -57,6 +59,14 @@ bench-shared:
 ## Subscription delta-fan-out-vs-re-query benchmarks incl. the >=5x gate.
 bench-subscriptions:
 	$(PYTHON) -m pytest benchmarks/bench_subscriptions.py -q -s
+
+## WAL durability gates: persist phase <10% of the tick, replay >=2x live.
+bench-wal:
+	$(PYTHON) -m pytest benchmarks/bench_wal.py -q -s
+
+## Tier-1 tests under coverage (`pip install pytest-cov` if missing).
+cov:
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=80
 
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:

@@ -1,0 +1,119 @@
+"""E18 — WAL persist overhead and replay-vs-live throughput.
+
+The durability gates (ISSUE 6):
+
+* the persist phase (consolidate every table's change log, append one
+  compressed commit record) must cost **< 10% of the median tick** on the
+  gated rts workload (150 units, compiled mode) — durability as a tax,
+  not a second engine;
+* replaying a run from the log (checkpoint + deltas) must beat re-running
+  the live world by **>= 2x** — otherwise "recover from the log" loses to
+  "just re-simulate", and time-travel debugging is slower than reproducing
+  the bug live.
+
+Both gates are ratios of timings taken on the same machine in the same
+process, so they are stable across runner speeds (the repo's benchmark
+convention; see ``ci_bench.py``).
+"""
+
+from __future__ import annotations
+
+import statistics
+import tempfile
+import time
+
+from repro import ExecutionMode
+from repro.persistence.replay import replay_tables
+from repro.workloads import build_rts_world
+
+N_UNITS = 150
+TICKS = 15
+PERSIST_GATE = 0.10  # persist phase < 10% of the median tick
+REPLAY_GATE = 2.0  # replay >= 2x faster than the live run
+
+
+def build_world():
+    return build_rts_world(N_UNITS, mode=ExecutionMode.COMPILED)
+
+
+def test_persist_overhead_gate():
+    """The timed persist phase stays under 10% of the tick, measured from
+    the tick reports themselves (persist_seconds is part of total_seconds,
+    so the ratio is exact, not a cross-run subtraction)."""
+    world = build_world()
+    world.attach_wal(tempfile.mkdtemp(prefix="bench-wal-"), checkpoint_interval=50)
+    world.tick()  # warm plan caches
+    persists, totals = [], []
+    for _ in range(TICKS):
+        report = world.tick()
+        persists.append(report.persist_seconds)
+        totals.append(report.total_seconds)
+    fraction = statistics.median(persists) / statistics.median(totals)
+    print(
+        f"\npersist {statistics.median(persists) * 1e3:.2f} ms of "
+        f"{statistics.median(totals) * 1e3:.2f} ms tick = {fraction:.1%} "
+        f"({world.reports[-1].wal_bytes} bytes/tick)"
+    )
+    assert fraction < PERSIST_GATE, (
+        f"persist phase is {fraction:.1%} of the median tick (gate {PERSIST_GATE:.0%})"
+    )
+
+
+def test_replay_speedup_gate():
+    """Reconstructing the final state from the log must be >= 2x faster
+    than re-running the simulation, and exactly equal to it."""
+    path = tempfile.mkdtemp(prefix="bench-replay-")
+    world = build_world()
+    wal = world.attach_wal(path, checkpoint_interval=50)
+    for _ in range(TICKS + 1):
+        world.tick()
+    expected = {name: table.snapshot() for name, table in wal._tables()}
+    world.detach_wal()
+
+    start = time.perf_counter()
+    rerun = build_world()
+    for _ in range(TICKS + 1):
+        rerun.tick()
+    live_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    state = replay_tables(path)
+    replay_seconds = time.perf_counter() - start
+
+    assert state.tables == expected  # fast AND right
+    speedup = live_seconds / replay_seconds
+    print(
+        f"\nlive {live_seconds * 1e3:.1f} ms vs replay {replay_seconds * 1e3:.1f} ms "
+        f"= {speedup:.1f}x"
+    )
+    assert speedup >= REPLAY_GATE, (
+        f"replay is only {speedup:.2f}x faster than the live run (gate {REPLAY_GATE}x)"
+    )
+
+
+def test_compression_earns_its_keep():
+    """Commit records deflate: the on-disk log must be well under the raw
+    JSON it encodes (the optimization the persist gate depends on)."""
+    import json
+
+    from repro.persistence.replay import iter_log_records
+
+    path = tempfile.mkdtemp(prefix="bench-bytes-")
+    world = build_world()
+    wal = world.attach_wal(path, checkpoint_interval=50)
+    for _ in range(10):
+        world.tick()
+    on_disk = wal.log.byte_size
+    raw = sum(
+        len(json.dumps(record, separators=(",", ":"), default=repr))
+        for record in iter_log_records(wal.log)
+    )
+    ratio = raw / on_disk
+    print(f"\n{on_disk} bytes on disk for {raw} bytes of JSON = {ratio:.1f}x")
+    assert ratio >= 2.0, f"compression ratio {ratio:.2f}x is below 2x"
+
+
+if __name__ == "__main__":
+    import pytest
+
+    raise SystemExit(pytest.main([__file__, "-q", "-s"]))

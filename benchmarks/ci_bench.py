@@ -18,7 +18,10 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
 * the shared subscription-serving scenario
   (``benchmarks/subscription_scenario.py``, 1k subscribers / 1% churn)
   timed as delta fan-out (``SubscriptionManager.flush``) and as naive
-  per-client re-query, yielding the subscription fan-out speedup.
+  per-client re-query, yielding the subscription fan-out speedup,
+* the WAL durability scenario (gated rts workload with an attached delta
+  log), yielding the persist efficiency (ticks with vs without the
+  persist phase) and the replay-vs-live-rerun speedup.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -82,6 +85,8 @@ GATED_METRICS = {
     "index_join.speedup_vs_row": "index-probing band join vs row path",
     "shared_plans.speedup_vs_unshared": "tick-wide shared-subplan pipeline vs per-query execution",
     "subscriptions.fanout_speedup": "subscription delta fan-out vs naive per-client re-query",
+    "wal.persist_efficiency": "tick throughput with the WAL persist phase vs without",
+    "wal.replay_speedup_vs_live": "log replay (checkpoint + deltas) vs re-running the live world",
 }
 
 
@@ -239,6 +244,53 @@ def bench_subscriptions(ticks: int = 8) -> dict:
     }
 
 
+def bench_wal(ticks: int = 15) -> dict:
+    """Durability cost and replay throughput on the gated rts workload.
+
+    ``persist_efficiency`` is (median tick without WAL) / (median tick with
+    WAL) — 1.0 means free durability, and the ISSUE 6 gate of <10% persist
+    overhead corresponds to a floor of ~0.9.  ``replay_speedup_vs_live``
+    is (live re-run of the whole history) / (checkpoint + delta replay).
+    """
+    import tempfile
+
+    from repro.persistence.replay import replay_tables
+
+    plain = build_rts_world(150, mode=ExecutionMode.COMPILED)
+    plain_median = _time_ticks(plain, ticks=ticks)
+
+    path = tempfile.mkdtemp(prefix="ci-wal-")
+    walled = build_rts_world(150, mode=ExecutionMode.COMPILED)
+    wal = walled.attach_wal(path, checkpoint_interval=50)
+    walled_median = _time_ticks(walled, ticks=ticks)
+    persist_median = statistics.median(
+        report.persist_seconds for report in walled.reports[-ticks:]
+    )
+    bytes_per_tick = walled.reports[-1].wal_bytes
+    walled.detach_wal()
+
+    start = time.perf_counter()
+    rerun = build_rts_world(150, mode=ExecutionMode.COMPILED)
+    for _ in range(ticks + 1):
+        rerun.tick()
+    live_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    replay_tables(path)
+    replay_seconds = time.perf_counter() - start
+
+    return {
+        "ticks": ticks,
+        "plain_median_tick_seconds": round(plain_median, 6),
+        "walled_median_tick_seconds": round(walled_median, 6),
+        "persist_median_seconds": round(persist_median, 6),
+        "wal_bytes_per_tick": bytes_per_tick,
+        "live_seconds": round(live_seconds, 6),
+        "replay_seconds": round(replay_seconds, 6),
+        "persist_efficiency": round(plain_median / walled_median, 3),
+        "replay_speedup_vs_live": round(live_seconds / replay_seconds, 3),
+    }
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
@@ -247,6 +299,7 @@ def run_suite() -> dict:
         "index_join": bench_index_join(),
         "shared_plans": bench_shared_plans(),
         "subscriptions": bench_subscriptions(),
+        "wal": bench_wal(),
     }
 
 

@@ -22,6 +22,8 @@ the paper (Section 2):
 
 from __future__ import annotations
 
+import itertools
+import secrets
 from collections import deque
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping, Sequence
 
@@ -37,6 +39,21 @@ RowId = int
 
 #: Sentinel marking "row did not exist before this log entry" (an insert).
 _NOT_PRESENT = object()
+
+#: Change-log epoch tokens.  An epoch names one contiguous stretch of a
+#: table's change-log history: it changes whenever the log is reset (bulk
+#: rewrite) and is unique across processes, so a serialized cursor position
+#: ``(epoch, version)`` from before a restart — or from a different table
+#: instance replayed from a WAL — can never silently alias a position in
+#: this instance's history just because the integer versions happen to
+#: overlap.  A random 64-bit base plus a process-local counter keeps tokens
+#: unique even when many tables reset within one process.
+_EPOCH_BASE = secrets.randbits(64)
+_EPOCH_COUNTER = itertools.count()
+
+
+def _new_epoch() -> int:
+    return _EPOCH_BASE ^ (next(_EPOCH_COUNTER) << 64)
 
 
 class Table:
@@ -64,6 +81,10 @@ class Table:
         #: Oldest version a delta can be served from; ``changes_since`` with
         #: an older base version returns ``None`` (caller must rescan).
         self._log_floor = 0
+        #: Identity of the current change-log history stretch (see
+        #: :func:`_new_epoch`); consumers that persist positions must store
+        #: ``(log_epoch, version)`` pairs, never bare versions.
+        self._log_epoch = _new_epoch()
 
     # -- introspection ------------------------------------------------------------
 
@@ -218,13 +239,51 @@ class Table:
 
         The floor moves to the current version, so deltas based on any older
         version report "unavailable" and consumers fall back to a full scan.
+        The epoch changes too: positions recorded before the reset name a
+        different history and must never be served again, even by another
+        table instance whose version counter happens to line up (the WAL
+        replay-after-restart case).
         """
+        self._log_epoch = _new_epoch()
         if self._change_log is not None:
             self._change_log.clear()
             self._log_floor = self._version
 
+    @property
+    def log_epoch(self) -> int:
+        """Identity token of the current change-log history stretch.
+
+        Serializable consumers (the WAL writer, restartable subscription
+        nodes) must pair it with :attr:`version`; :meth:`changes_since` and
+        :meth:`consolidate_changes` refuse positions from another epoch.
+        """
+        return self._log_epoch
+
+    def _first_old_since(self, version: int) -> dict[RowId, Any] | None:
+        """Per-rowid pre-image as of *version*, or ``None`` if unserviceable.
+
+        The shared consolidation core of :meth:`changes_since` and
+        :meth:`consolidate_changes`: the *first* log entry for a rowid in
+        the suffix newer than *version* holds its state at *version*
+        (:data:`_NOT_PRESENT` for rows that did not exist); the current
+        state comes from the live row store.
+        """
+        if self._change_log is None or version < self._log_floor or version > self._version:
+            return None
+        suffix: list[tuple[int, RowId, Any]] = []
+        for entry in reversed(self._change_log):
+            if entry[0] <= version:
+                break
+            suffix.append(entry)
+        suffix.reverse()
+        first_old: dict[RowId, Any] = {}
+        for _, rowid, old in suffix:
+            if rowid not in first_old:
+                first_old[rowid] = old
+        return first_old
+
     def changes_since(
-        self, version: int
+        self, version: int, epoch: int | None = None
     ) -> tuple[list[dict[str, Any]], list[dict[str, Any]]] | None:
         """Net row changes between *version* and now, or ``None`` if unknown.
 
@@ -236,26 +295,19 @@ class Table:
         retained pre-mutation copies.
 
         ``None`` means the log cannot answer (logging disabled, the log was
-        truncated past *version*, or a bulk rewrite happened); the caller
-        must fall back to a full rescan.
+        truncated past *version*, a bulk rewrite happened, or *epoch* — when
+        given — names a different log history); the caller must fall back to
+        a full rescan.  In-process consumers holding a live reference may
+        omit *epoch* (resets already advance the floor); consumers that
+        serialize positions must pass the paired :attr:`log_epoch`.
         """
+        if epoch is not None and epoch != self._log_epoch:
+            return None
         if version == self._version:
             return [], []
-        if self._change_log is None or version < self._log_floor or version > self._version:
+        first_old = self._first_old_since(version)
+        if first_old is None:
             return None
-        # Entries are version-ordered; collect the suffix newer than *version*.
-        suffix: list[tuple[int, RowId, Any]] = []
-        for entry in reversed(self._change_log):
-            if entry[0] <= version:
-                break
-            suffix.append(entry)
-        suffix.reverse()
-        # The first entry for a rowid in the suffix holds its state as of
-        # *version*; its current state comes from the live row store.
-        first_old: dict[RowId, Any] = {}
-        for _, rowid, old in suffix:
-            if rowid not in first_old:
-                first_old[rowid] = old
         added: list[dict[str, Any]] = []
         removed: list[dict[str, Any]] = []
         for rowid, old in first_old.items():
@@ -268,6 +320,40 @@ class Table:
             if current is not None:
                 added.append(current)
         return added, removed
+
+    def consolidate_changes(
+        self, version: int, epoch: int | None = None
+    ) -> list[tuple[RowId, dict[str, Any] | None, dict[str, Any] | None]] | None:
+        """Netted per-row changes since *version*, keyed by rowid.
+
+        The write-ahead-log form of :meth:`changes_since`: one
+        ``(rowid, old, new)`` triple per changed row — ``old`` is ``None``
+        for an insert, ``new`` is ``None`` for a delete, both are present
+        for an update, and a no-op (same values written back, or an
+        insert-then-delete) nets away entirely.  Both row dicts are fresh
+        copies owned by the caller, ready to serialize.
+
+        Returns ``None`` under exactly the :meth:`changes_since` conditions
+        (log disabled/truncated/reset, or an *epoch* mismatch); the WAL
+        writer then falls back to recording the full table.
+        """
+        if epoch is not None and epoch != self._log_epoch:
+            return None
+        if version == self._version:
+            return []
+        first_old = self._first_old_since(version)
+        if first_old is None:
+            return None
+        out: list[tuple[RowId, dict[str, Any] | None, dict[str, Any] | None]] = []
+        for rowid, old in first_old.items():
+            current = self._rows.get(rowid)
+            old_row = None if old is _NOT_PRESENT else old
+            if old_row == current:
+                continue
+            out.append(
+                (rowid, dict(old_row) if old_row else None, dict(current) if current else None)
+            )
+        return out
 
     def open_cursor(self, capacity: int | None = None) -> "ChangeCursor":
         """Register a change-log consumer positioned at the current version.
@@ -409,6 +495,58 @@ class Table:
         self._version += 1
         self._reset_change_log()
 
+    @property
+    def next_rowid(self) -> RowId:
+        """The rowid the next insert will be assigned (WAL bookkeeping)."""
+        return self._next_rowid
+
+    def set_next_rowid(self, next_rowid: RowId) -> None:
+        """Restore the rowid counter after a replay (never moves backwards,
+        so replayed inserts can't collide with rows already present)."""
+        self._next_rowid = max(self._next_rowid, next_rowid)
+
+    def apply_row_changes(
+        self, changes: Iterable[tuple[RowId, Mapping[str, Any] | None]]
+    ) -> None:
+        """Apply replayed ``(rowid, new row | None)`` changes verbatim.
+
+        The low-level write path of WAL replay and log-based catch-up:
+        rows land under their original rowids (``None`` deletes), indexes
+        and the key map stay consistent, versions bump and the change log
+        records every entry — live cursors on a recovering table keep
+        streaming.  Values are trusted (they were validated when the log
+        was written), so no schema coercion happens here.
+        """
+        self._check_writable()
+        for rowid, new in changes:
+            old = self._rows.get(rowid)
+            if new is None:
+                if old is None:
+                    continue
+                del self._rows[rowid]
+                if self.key is not None:
+                    self._key_map.pop(old[self.schema.resolve(self.key)], None)
+                for index in self._indexes.values():
+                    index.on_delete(rowid, old)
+                self._version += 1
+                self._log_change(rowid, old)
+            else:
+                row = dict(new)
+                self._rows[rowid] = row
+                if self.key is not None:
+                    key_col = self.schema.resolve(self.key)
+                    if old is not None:
+                        self._key_map.pop(old[key_col], None)
+                    self._key_map[row[key_col]] = rowid
+                for index in self._indexes.values():
+                    if old is not None:
+                        index.on_update(rowid, old, row)
+                    else:
+                        index.on_insert(rowid, row)
+                self._version += 1
+                self._log_change(rowid, old if old is not None else _NOT_PRESENT)
+            self._next_rowid = max(self._next_rowid, rowid + 1)
+
     # -- freeze / snapshot --------------------------------------------------------
 
     def freeze(self) -> None:
@@ -515,11 +653,12 @@ class ChangeCursor:
     version, so subsequent polls stream deltas again.
     """
 
-    __slots__ = ("_table", "_version", "polls", "lost_deltas")
+    __slots__ = ("_table", "_version", "_epoch", "polls", "lost_deltas")
 
     def __init__(self, table: Table):
         self._table = table
         self._version = table.version
+        self._epoch = table.log_epoch
         #: Total number of :meth:`poll` calls (tooling/tests).
         self.polls = 0
         #: How many polls could not be served from the log (forced resyncs).
@@ -535,8 +674,25 @@ class ChangeCursor:
         return self._version
 
     @property
+    def position(self) -> tuple[int, int]:
+        """The serializable position ``(log epoch, version)``.
+
+        The epoch makes the position globally unambiguous: restored into a
+        replayed table (a restart) or one that was bulk-rewritten, it can
+        only ever produce a lost-delta resync, never a silently aliased
+        delta from a different history whose versions happen to line up.
+        """
+        return (self._epoch, self._version)
+
+    def seek(self, position: tuple[int, int]) -> None:
+        """Restore a :attr:`position` captured earlier (possibly persisted)."""
+        self._epoch, self._version = position
+
+    @property
     def pending(self) -> int | None:
         """Logged mutations not yet polled, or ``None`` if unserviceable."""
+        if self._epoch != self._table.log_epoch:
+            return None
         return self._table.changes_pending(self._version)
 
     def poll(self) -> tuple[list[dict[str, Any]], list[dict[str, Any]]] | None:
@@ -546,11 +702,12 @@ class ChangeCursor:
         as read-only; copy before retaining), ``removed`` entries are the
         retained pre-mutation copies — the same contract as
         :meth:`Table.changes_since`.  Always advances to the current
-        version, even on a lost delta.
+        position (epoch and version), even on a lost delta.
         """
         self.polls += 1
-        delta = self._table.changes_since(self._version)
+        delta = self._table.changes_since(self._version, self._epoch)
         self._version = self._table.version
+        self._epoch = self._table.log_epoch
         if delta is None:
             self.lost_deltas += 1
         return delta

@@ -122,9 +122,11 @@ class TickInspector:
         (``plan_cache_hits`` / ``plan_cache_misses`` — a miss after warmup
         means something invalidated plans), what tick-wide sharing
         bought (``shared_subplans``, ``shared_evaluations_saved``,
-        ``fused_effect_rows``), and what the subscription flush phase
+        ``fused_effect_rows``), what the subscription flush phase
         streamed (``flush_seconds``, ``subscription_messages``,
-        ``subscription_delta_rows``).
+        ``subscription_delta_rows``), and what the WAL persist phase
+        wrote (``persist_seconds``, ``wal_bytes``, ``wal_delta_rows`` —
+        all zero when no WAL is attached).
         """
         if not self.world.reports:
             return {}
@@ -145,6 +147,9 @@ class TickInspector:
             "fused_effect_rows": report.fused_effect_rows,
             "subscription_messages": report.subscription_messages,
             "subscription_delta_rows": report.subscription_delta_rows,
+            "persist_seconds": report.persist_seconds,
+            "wal_bytes": report.wal_bytes,
+            "wal_delta_rows": report.wal_delta_rows,
         }
 
     def sharing_report(self) -> dict[str, Any]:

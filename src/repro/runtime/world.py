@@ -74,6 +74,10 @@ class TickReport:
     #: Subscription flush phase: per-group delta computation + fan-out to
     #: session outboxes (zero when no subscription manager is attached).
     flush_seconds: float = 0.0
+    #: WAL persist phase: change-log consolidation + commit-record append
+    #: (and, on checkpoint ticks, the snapshot write).  Zero when no WAL is
+    #: attached (see :meth:`GameWorld.attach_wal`).
+    persist_seconds: float = 0.0
     effect_assignments: int = 0
     transactions_submitted: int = 0
     transactions_committed: int = 0
@@ -97,6 +101,10 @@ class TickReport:
     #: delta rows they carried (see ``SubscriptionManager.flush``).
     subscription_messages: int = 0
     subscription_delta_rows: int = 0
+    #: WAL persist phase: bytes appended to the delta log and netted row
+    #: changes the commit record carried.
+    wal_bytes: int = 0
+    wal_delta_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -106,6 +114,7 @@ class TickReport:
             + self.reactive_seconds
             + self.advisor_seconds
             + self.flush_seconds
+            + self.persist_seconds
         )
 
 
@@ -176,6 +185,8 @@ class GameWorld:
 
         #: Live subscription service (created lazily by :attr:`subscriptions`).
         self._subscription_manager = None
+        #: Durable delta log writer (created by :meth:`attach_wal`).
+        self.wal = None
 
         self._next_ids: dict[str, int] = {decl.name: 0 for decl in self.program.classes}
         self._enabled_scripts: list[str] = [script.name for script in self.program.scripts]
@@ -385,6 +396,67 @@ class GameWorld:
         )
 
     # ------------------------------------------------------------------------------------------
+    # the durable delta log
+    # ------------------------------------------------------------------------------------------
+
+    def attach_wal(
+        self,
+        path: str,
+        checkpoint_interval: int = 50,
+        segment_max_bytes: int | None = None,
+        fsync: bool = False,
+        auto_trim: bool = False,
+        recover: bool = True,
+    ):
+        """Attach a durable write-ahead delta log at directory *path*.
+
+        Every subsequent :meth:`tick` ends with a timed *persist phase*
+        (``TickReport.persist_seconds``): each state table's change log is
+        consolidated once and the netted per-row deltas are appended as the
+        tick's commit record; every ``checkpoint_interval`` commits a full
+        snapshot checkpoint bounds replay cost (and, with ``auto_trim``,
+        lets old segments be dropped).
+
+        When *path* already holds a log and ``recover`` is true, the world
+        is first **recovered**: torn tails are truncated, the last fully
+        committed tick is replayed into the state tables (the world must
+        have been built from the same program), and the log resumes
+        appending where it left off.  A fresh log starts with a baseline
+        checkpoint of the current state, so replay can always reach back to
+        the attach point.  Returns the :class:`~repro.persistence.log.WorldWal`.
+        """
+        from repro.persistence.log import DEFAULT_SEGMENT_BYTES, DeltaLog, WalError, WorldWal
+
+        if self.wal is not None:
+            raise ExecutionError("a WAL is already attached to this world")
+        log = DeltaLog(
+            path,
+            segment_max_bytes=(
+                segment_max_bytes if segment_max_bytes is not None else DEFAULT_SEGMENT_BYTES
+            ),
+            fsync=fsync,
+        )
+        wal = WorldWal(
+            self, log, checkpoint_interval=checkpoint_interval, auto_trim=auto_trim
+        )
+        if log.last_tick is not None and recover:
+            recovered = wal.recover()
+            if recovered is None:
+                raise WalError(f"log at {path!r} exists but holds no recoverable state")
+        else:
+            wal.checkpoint()  # baseline: replay can reach the attach point
+        self.wal = wal
+        if self._subscription_manager is not None:
+            self._subscription_manager.attach_wal(wal)
+        return wal
+
+    def detach_wal(self) -> None:
+        """Close and detach the WAL (ticks stop persisting)."""
+        if self.wal is not None:
+            self.wal.close()
+            self.wal = None
+
+    # ------------------------------------------------------------------------------------------
     # the tick loop
     # ------------------------------------------------------------------------------------------
 
@@ -469,6 +541,14 @@ class GameWorld:
             report.subscription_messages = flush_stats.get("messages", 0)
             report.subscription_delta_rows = flush_stats.get("delta_rows", 0)
         report.flush_seconds = time.perf_counter() - started
+
+        # -- persist phase: append this tick's commit record to the WAL -------------------------
+        started = time.perf_counter()
+        if self.wal is not None:
+            persist_stats = self.wal.commit_tick(report.tick)
+            report.wal_bytes = persist_stats.get("bytes", 0)
+            report.wal_delta_rows = persist_stats.get("delta_rows", 0)
+        report.persist_seconds = time.perf_counter() - started
 
         # -- index advisor: create/evict indexes for hot band joins -----------------------------
         started = time.perf_counter()

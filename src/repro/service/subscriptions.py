@@ -48,6 +48,7 @@ from repro.engine.expressions import Expression
 from repro.engine.operators.scan import _qualify_row
 from repro.engine.optimizer.mqo import fingerprint_plan
 from repro.engine.table import ChangeCursor, Table
+from repro.persistence.replay import net_table_changes
 from repro.service.interest import AOISubscription, InterestManager
 from repro.service.outbox import DEFAULT_CAPACITY, Session
 from repro.service.protocol import (
@@ -260,6 +261,9 @@ class SubscriptionManager:
         self._next_subscription_id = 0
         self.current_tick = -1
         self.last_flush_stats: dict[str, int] = {}
+        #: Durable delta log used for log-offset catch-up (see
+        #: :meth:`attach_wal` / :meth:`resume_table_subscription`).
+        self._wal = None
 
     # -- sessions ---------------------------------------------------------------------
 
@@ -295,13 +299,11 @@ class SubscriptionManager:
             return self.catalog.table(self.world.schemas[name].primary_table)
         return self.catalog.table(name)
 
-    def subscribe_query(self, session: Session, plan: LogicalPlan) -> int:
-        """Register *plan* as a standing query; returns the subscription id.
-
-        Equivalent plans (equal canonical fingerprints) join the same
-        group: the per-tick delta is computed once regardless of how many
-        sessions subscribe it.
-        """
+    def _register_query_subscriber(
+        self, session: Session, plan: LogicalPlan
+    ) -> tuple[_QuerySubscriber, StandingQueryGroup]:
+        """Attach *session* to *plan*'s standing-query group (creating it if
+        needed); pushes no message — callers choose snapshot or catch-up."""
         # cache=False: only the group's representative plan should occupy a
         # plan-cache slot — a deduped newcomer's plan object is never
         # executed again, and churning client connections would otherwise
@@ -327,9 +329,19 @@ class SubscriptionManager:
         group.subscribers[sub.subscription_id] = sub
         self._subs[sub.subscription_id] = ("query", group)
         session.subscription_ids.add(sub.subscription_id)
+        return sub, group
+
+    def subscribe_query(self, session: Session, plan: LogicalPlan) -> int:
+        """Register *plan* as a standing query; returns the subscription id.
+
+        Equivalent plans (equal canonical fingerprints) join the same
+        group: the per-tick delta is computed once regardless of how many
+        sessions subscribe it.
+        """
+        sub, group = self._register_query_subscriber(session, plan)
         rows = group.result_rows()
-        if renames:
-            rows = [_rename_row(r, renames) for r in rows]
+        if sub.renames:
+            rows = [_rename_row(r, sub.renames) for r in rows]
         session.outbox.push(
             Snapshot(
                 subscription_id=sub.subscription_id,
@@ -351,6 +363,96 @@ class SubscriptionManager:
         if predicate is not None:
             plan = Select(plan, predicate)
         return self.subscribe_query(session, plan)
+
+    # -- log-offset catch-up (restarted nodes) ----------------------------------------
+
+    def attach_wal(self, wal: Any) -> None:
+        """Use *wal* (a ``WorldWal`` or bare ``DeltaLog``) for catch-up.
+
+        A manager created from a world with an attached WAL picks it up
+        automatically; standalone catalog/executor managers (and tests)
+        attach one explicitly.
+        """
+        self._wal = wal
+
+    def _wal_log(self):
+        if self._wal is not None:
+            return getattr(self._wal, "log", self._wal)
+        world_wal = getattr(self.world, "wal", None) if self.world is not None else None
+        return world_wal.log if world_wal is not None else None
+
+    def _table_position_stale(self, table: Table) -> bool:
+        """Whether *table* has mutations the WAL has not committed yet.
+
+        Catch-up promises "apply this delta and you are current"; if the
+        table drifted past the last commit record the promise would be
+        broken, so the caller must fall back to a snapshot.
+        """
+        wal = self._wal if self._wal is not None else getattr(self.world, "wal", None)
+        positions = getattr(wal, "_positions", None)
+        if positions is None or table.name not in positions:
+            return False  # bare DeltaLog: the caller vouches for alignment
+        epoch, version = positions[table.name]
+        return table.log_epoch != epoch or table.version != version
+
+    def resume_table_subscription(
+        self,
+        session: Session,
+        table: str,
+        predicate: Expression | None = None,
+        last_seen_tick: int = -1,
+    ) -> int:
+        """Re-subscribe a returning client without a full snapshot.
+
+        The restarted-node path: a client that was streaming a table
+        subscription before the node went down reconnects and presents the
+        last tick it fully applied.  When the delta log still holds every
+        commit after that tick (and matches the table's current state), the
+        client receives one netted catch-up :class:`Delta` — typically a
+        few rows instead of the whole result — and the stream continues as
+        usual.  When the log cannot serve the range (the offset was trimmed
+        away, a full-table fallback record hides pre-images, or the table
+        drifted past the last commit) the client is re-anchored with a
+        :class:`Snapshot` carrying reason ``"resync:offset-too-old"``.
+        """
+        resolved = self._resolve_table(table)
+        plan: LogicalPlan = TableScan(resolved.name)
+        if predicate is not None:
+            plan = Select(plan, predicate)
+        sub, group = self._register_query_subscriber(session, plan)
+        log = self._wal_log()
+        catchup = None
+        if log is not None and not self._table_position_stale(resolved):
+            catchup = net_table_changes(log, resolved.name, last_seen_tick)
+        if catchup is None:
+            rows = group.result_rows()
+            if sub.renames:
+                rows = [_rename_row(r, sub.renames) for r in rows]
+            session.outbox.push(
+                Snapshot(
+                    subscription_id=sub.subscription_id,
+                    tick=self.current_tick,
+                    rows=freeze_rows(rows),
+                    reason="resync:offset-too-old" if log is not None else "subscribe",
+                )
+            )
+            return sub.subscription_id
+        added, removed = catchup
+        added = group._filter_qualified(added)
+        removed = group._filter_qualified(removed)
+        if sub.renames:
+            added = [_rename_row(r, sub.renames) for r in added]
+            removed = [_rename_row(r, sub.renames) for r in removed]
+        catchup_tick = log.last_tick if log.last_tick is not None else self.current_tick
+        session.outbox.push(
+            Delta(
+                subscription_id=sub.subscription_id,
+                tick=catchup_tick,
+                added=freeze_rows(added),
+                removed=freeze_rows(removed),
+            )
+        )
+        return sub.subscription_id
 
     def subscribe_aoi(
         self,
