@@ -6,13 +6,14 @@
 # `make bench-shared` = the shared-plan (MQO) speedup gate,
 # `make bench-subscriptions` = the subscription fan-out speedup gate,
 # `make bench-wal` = the WAL persist-overhead + replay speedup gates,
+# `make bench-compiled` = the kernel-compilation speedup gates,
 # `make cov` = the coverage job (pytest --cov, fails under the floor),
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-ci
+.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -63,6 +64,10 @@ bench-subscriptions:
 ## WAL durability gates: persist phase <10% of the tick, replay >=2x live.
 bench-wal:
 	$(PYTHON) -m pytest benchmarks/bench_wal.py -q -s
+
+## Compiled-kernel-vs-interpreted-batch benchmarks incl. the >=2x gates.
+bench-compiled:
+	$(PYTHON) -m pytest benchmarks/bench_compiled.py -q -s
 
 ## Tier-1 tests under coverage (`pip install pytest-cov` if missing).
 cov:

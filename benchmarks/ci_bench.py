@@ -21,7 +21,10 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
   per-client re-query, yielding the subscription fan-out speedup,
 * the WAL durability scenario (gated rts workload with an attached delta
   log), yielding the persist efficiency (ticks with vs without the
-  persist phase) and the replay-vs-live-rerun speedup.
+  persist phase) and the replay-vs-live-rerun speedup,
+* the kernel-compilation scenarios (``benchmarks/bench_compiled.py``):
+  the hot filter+aggregate tick query and the scout/unit band join, each
+  timed compiled vs interpreted-batch, yielding the compiled speedups.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -57,6 +60,7 @@ sys.path.insert(
     0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
 )
 
+import bench_compiled  # noqa: E402
 import index_join_scenario  # noqa: E402
 import shared_plans_scenario  # noqa: E402
 import subscription_scenario  # noqa: E402
@@ -68,6 +72,7 @@ from incremental_scenario import (  # noqa: E402
     tick_query,
 )
 from repro import ExecutionMode  # noqa: E402
+from repro.engine import EngineConfig
 from repro.engine.executor import Executor  # noqa: E402
 from repro.service.subscriptions import SubscriptionManager  # noqa: E402
 from repro.workloads import build_rts_world  # noqa: E402
@@ -85,6 +90,8 @@ GATED_METRICS = {
     "index_join.speedup_vs_row": "index-probing band join vs row path",
     "shared_plans.speedup_vs_unshared": "tick-wide shared-subplan pipeline vs per-query execution",
     "subscriptions.fanout_speedup": "subscription delta fan-out vs naive per-client re-query",
+    "compiled.speedup_filter_aggregate": "compiled kernel vs interpreted batch, filter+aggregate",
+    "compiled.speedup_band_join": "compiled kernel vs interpreted batch, band join",
     "wal.persist_efficiency": "tick throughput with the WAL persist phase vs without",
     "wal.replay_speedup_vs_live": "log replay (checkpoint + deltas) vs re-running the live world",
 }
@@ -118,8 +125,8 @@ def bench_incremental(ticks: int = 30) -> dict:
     plan = tick_query()
     paths = {
         "incremental": Executor(catalog),
-        "batch": Executor(catalog, use_incremental=False),
-        "row": Executor(catalog, use_batch=False, use_incremental=False),
+        "batch": Executor(catalog, EngineConfig(use_incremental=False)),
+        "row": Executor(catalog, EngineConfig(use_batch=False, use_incremental=False)),
     }
     assert paths["incremental"].register_incremental(plan)
     for executor in paths.values():
@@ -149,9 +156,12 @@ def bench_index_join(ticks: int = 30) -> dict:
     catalog, units, scouts = index_join_scenario.build_band_catalog()
     plan = index_join_scenario.band_join_query()
     paths = {
-        "indexed": Executor(catalog, use_incremental=False),
-        "rebuild": Executor(catalog, use_indexes=False, use_incremental=False),
-        "row": Executor(catalog, use_indexes=False, use_batch=False, use_incremental=False),
+        "indexed": Executor(catalog, EngineConfig(use_incremental=False)),
+        "rebuild": Executor(catalog, EngineConfig(use_indexes=False, use_incremental=False)),
+        "row": Executor(
+            catalog,
+            EngineConfig(use_indexes=False, use_batch=False, use_incremental=False),
+        ),
     }
     for executor in paths.values():
         executor.execute(plan)
@@ -180,8 +190,8 @@ def bench_shared_plans(ticks: int = 15) -> dict:
     catalog, units = shared_plans_scenario.build_units_catalog()
     plans = shared_plans_scenario.tick_queries()
     specs = shared_plans_scenario.tick_specs(plans)
-    shared_exec = Executor(catalog, use_incremental=False)
-    unshared_exec = Executor(catalog, use_incremental=False)
+    shared_exec = Executor(catalog, EngineConfig(use_incremental=False))
+    unshared_exec = Executor(catalog, EngineConfig(use_incremental=False))
     shared_exec.execute_tick(specs)
     for plan in plans:
         unshared_exec.execute(plan)
@@ -216,7 +226,7 @@ def bench_subscriptions(ticks: int = 8) -> dict:
     sessions, _ = subscription_scenario.subscribe_clients(manager, plans)
     for session in sessions:
         session.take()
-    naive_exec = Executor(catalog, use_incremental=False)
+    naive_exec = Executor(catalog, EngineConfig(use_incremental=False))
     subscription_scenario.naive_tick(naive_exec, plans)  # warm plan cache
     rng = random.Random(subscription_scenario.SEED)
     delta_total = naive_total = 0.0
@@ -291,6 +301,20 @@ def bench_wal(ticks: int = 15) -> dict:
     }
 
 
+def bench_compiled_kernels() -> dict:
+    """Compiled-vs-interpreted speedups on the two gated kernel shapes."""
+    fa_interp, fa_compiled = bench_compiled._filter_aggregate_run()
+    band_interp, band_compiled = bench_compiled._band_join_run()
+    return {
+        "filter_aggregate_interp_seconds": round(fa_interp, 6),
+        "filter_aggregate_compiled_seconds": round(fa_compiled, 6),
+        "band_join_interp_seconds": round(band_interp, 6),
+        "band_join_compiled_seconds": round(band_compiled, 6),
+        "speedup_filter_aggregate": round(fa_interp / fa_compiled, 3),
+        "speedup_band_join": round(band_interp / band_compiled, 3),
+    }
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
@@ -300,6 +324,7 @@ def run_suite() -> dict:
         "shared_plans": bench_shared_plans(),
         "subscriptions": bench_subscriptions(),
         "wal": bench_wal(),
+        "compiled": bench_compiled_kernels(),
     }
 
 

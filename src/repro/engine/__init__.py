@@ -26,6 +26,7 @@ from repro.engine.algebra import (
     Values,
 )
 from repro.engine.catalog import Catalog
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.engine.errors import (
     CatalogError,
     ConstraintViolation,
@@ -80,6 +81,8 @@ __all__ = [
     "Union",
     "Values",
     "Catalog",
+    "EngineConfig",
+    "resolve_engine_config",
     "CatalogError",
     "ConstraintViolation",
     "EngineError",

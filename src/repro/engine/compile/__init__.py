@@ -1,0 +1,10 @@
+"""Plan-to-kernel compilation: fused per-pipeline Python kernels.
+
+See :mod:`repro.engine.compile.kernels` for the pipeline grammar and the
+equivalence contract, and :mod:`repro.engine.compile.exprgen` for the
+expression codegen.
+"""
+
+from repro.engine.compile.kernels import KernelLowering, KernelOp, KernelProgram
+
+__all__ = ["KernelLowering", "KernelOp", "KernelProgram"]

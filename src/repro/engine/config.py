@@ -1,0 +1,157 @@
+"""Engine configuration: one frozen object instead of six boolean flags.
+
+Before this module the engine's feature toggles (``use_batch``,
+``use_incremental``, ``use_mqo``, ``use_indexes``, ``auto_index``) were
+threaded as individual keyword arguments through :class:`GameWorld`, the
+executor, the planner, and every ``build_*_world`` constructor — 63
+occurrences across 8 files, each new flag multiplying the sprawl.
+:class:`EngineConfig` consolidates them:
+
+* construct one ``EngineConfig`` and pass it as ``config=`` anywhere the
+  old booleans were accepted;
+* the old keyword arguments keep working through
+  :func:`resolve_engine_config`, which maps them onto the config object
+  and emits a :class:`DeprecationWarning`;
+* named presets (:meth:`EngineConfig.fastest`,
+  :meth:`EngineConfig.reference`, :meth:`EngineConfig.debug`) capture the
+  three configurations benchmarks and bug reports actually use, and
+  ``REPRO_ENGINE_PRESET`` selects one from the environment so CI can run
+  the whole suite under e.g. the fully compiled configuration.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import asdict, dataclass, replace
+from typing import Any, Mapping
+
+__all__ = ["EngineConfig", "resolve_engine_config"]
+
+_PRESET_ENV_VAR = "REPRO_ENGINE_PRESET"
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Immutable switchboard for every optional engine path.
+
+    ``optimize``        run the logical rewrite/join-reorder passes.
+    ``use_batch``       lower fusable plans onto the columnar batch operators.
+    ``use_incremental`` maintain delta-incremental views for standing queries.
+    ``use_mqo``         share common subplans across the tick's query set.
+    ``use_indexes``     let the physical planner pick index scans/probes.
+    ``auto_index``      run the index advisor (create/evict grid indexes).
+    ``use_compiled``    compile fusable pipelines into per-plan Python
+                        kernels (implies the batch layout; ignored when
+                        ``use_batch`` is off).
+    ``index_create_after`` / ``index_evict_after``
+                        advisor tuning: hot streak before creating an
+                        index, idle ticks before evicting one.
+    """
+
+    optimize: bool = True
+    use_batch: bool = True
+    use_incremental: bool = True
+    use_mqo: bool = True
+    use_indexes: bool = True
+    auto_index: bool = True
+    use_compiled: bool = False
+    index_create_after: int = 3
+    index_evict_after: int = 30
+
+    # -- presets ---------------------------------------------------------------------------
+
+    @classmethod
+    def fastest(cls) -> "EngineConfig":
+        """Every optimization on, including kernel compilation."""
+        return cls(use_compiled=True)
+
+    @classmethod
+    def reference(cls) -> "EngineConfig":
+        """Row-path-only semantics oracle: no batch, views, sharing or indexes."""
+        return cls(
+            use_batch=False,
+            use_incremental=False,
+            use_mqo=False,
+            use_indexes=False,
+            auto_index=False,
+            use_compiled=False,
+        )
+
+    @classmethod
+    def debug(cls) -> "EngineConfig":
+        """Deterministic single-query plans: compilation, sharing and the
+        self-tuning advisor off, so every query keeps its own inspectable
+        operator tree."""
+        return cls(use_mqo=False, auto_index=False, use_compiled=False)
+
+    @classmethod
+    def from_env(cls) -> "EngineConfig":
+        """The preset named by ``REPRO_ENGINE_PRESET`` (default config if unset)."""
+        preset = os.environ.get(_PRESET_ENV_VAR, "").strip().lower()
+        if preset in ("", "default"):
+            return cls()
+        if preset == "fastest":
+            return cls.fastest()
+        if preset == "reference":
+            return cls.reference()
+        if preset == "debug":
+            return cls.debug()
+        raise ValueError(
+            f"unknown {_PRESET_ENV_VAR}={preset!r}; "
+            "expected one of: default, fastest, reference, debug"
+        )
+
+    # -- derivation ------------------------------------------------------------------------
+
+    def replace(self, **changes: Any) -> "EngineConfig":
+        """A copy with the given fields changed (frozen dataclasses can't mutate)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, Any]:
+        """Plain-dict view for reports and benchmark metadata."""
+        return asdict(self)
+
+
+_LEGACY_FLAGS = frozenset(
+    {
+        "optimize",
+        "use_batch",
+        "use_incremental",
+        "use_mqo",
+        "use_indexes",
+        "auto_index",
+        "use_compiled",
+    }
+)
+
+
+def resolve_engine_config(
+    config: EngineConfig | None,
+    legacy: Mapping[str, Any] | None = None,
+    *,
+    stacklevel: int = 3,
+) -> EngineConfig:
+    """Resolve ``config=`` plus deprecated ``use_*`` keywords into one config.
+
+    ``legacy`` maps old keyword names to the value the caller passed, with
+    ``None`` meaning "not passed".  Any explicitly passed legacy flag is
+    applied on top of the base config (the given ``config``, or the
+    environment preset) and triggers a single :class:`DeprecationWarning`
+    naming the offending keywords.
+    """
+    base = config if config is not None else EngineConfig.from_env()
+    passed = {k: v for k, v in (legacy or {}).items() if v is not None}
+    if not passed:
+        return base
+    unknown = set(passed) - _LEGACY_FLAGS
+    if unknown:
+        raise TypeError(f"unknown engine flags: {sorted(unknown)}")
+    warnings.warn(
+        "boolean engine flags ("
+        + ", ".join(sorted(passed))
+        + ") are deprecated; pass config=EngineConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    return base.replace(**{k: bool(v) for k, v in passed.items()})

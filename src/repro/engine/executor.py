@@ -55,6 +55,8 @@ from repro.engine.operators import (
     PhysicalOperator,
     fold_rows_to_partials,
 )
+from repro.engine.compile import KernelLowering
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.engine.operators.batch_ops import BatchOperator
 from repro.engine.operators.shared import EffectPartial
 from repro.engine.optimizer.mqo import SharedScan, TickPlan, build_tick_plan
@@ -239,22 +241,37 @@ class Executor:
     def __init__(
         self,
         catalog: Catalog,
-        optimize: bool = True,
-        use_indexes: bool = True,
-        use_batch: bool = True,
-        use_incremental: bool = True,
+        config: EngineConfig | None = None,
+        *,
+        optimize: bool | None = None,
+        use_indexes: bool | None = None,
+        use_batch: bool | None = None,
+        use_incremental: bool | None = None,
         index_advisor=None,
     ):
-        self.catalog = catalog
-        self.index_advisor = index_advisor
-        self.planner = Planner(
-            catalog,
-            optimize=optimize,
-            use_indexes=use_indexes,
-            use_batch=use_batch,
-            index_advisor=index_advisor,
+        config = resolve_engine_config(
+            config,
+            {
+                "optimize": optimize,
+                "use_indexes": use_indexes,
+                "use_batch": use_batch,
+                "use_incremental": use_incremental,
+            },
         )
-        self.use_incremental = use_incremental
+        self.catalog = catalog
+        self.config = config
+        self.index_advisor = index_advisor
+        self.planner = Planner(catalog, config, index_advisor=index_advisor)
+        self.use_incremental = config.use_incremental
+        #: Compiled kernel programs, keyed by MQO fingerprint + structural
+        #: signature; owned here so catalog-shape invalidation drops them
+        #: together with the cached plans that reference them.
+        self._kernels: dict[Any, Any] = {}
+        if config.use_compiled and config.use_batch:
+            self._kernel_lowering = KernelLowering(self._kernels)
+            self.planner.physical_planner.kernel_lowering = self._kernel_lowering
+        else:
+            self._kernel_lowering = None
         self._cache: dict[int, _CachedPlan] = {}
         #: ``id(plan) -> (plan, view)``.  The plan reference is load-bearing:
         #: it pins the id so a garbage-collected plan can never hand its id
@@ -289,6 +306,7 @@ class Executor:
         if plan is None:
             self._cache.clear()
             self._incremental.clear()
+            self._kernels.clear()
         else:
             self._cache.pop(id(plan), None)
             self._incremental.pop(id(plan), None)
@@ -315,11 +333,26 @@ class Executor:
         against the new shape.  Incremental views stay: they are keyed by
         table versions, not plans, and re-find indexes lazily per refresh.
         The tick pipeline and its shared materializations are dropped too:
-        both embed lowered physical plans.
+        both embed lowered physical plans.  Compiled kernels go with the
+        plans: they bake in schema column order and index decisions, so a
+        stale kernel would silently read the wrong columns.
         """
         self._cache.clear()
+        self._kernels.clear()
         self._tick_pipeline = None
         self._shared_results.clear()
+
+    def kernel_report(self) -> dict[str, int]:
+        """Kernel-compilation counters (all zero when compilation is off)."""
+        lowering = self._kernel_lowering
+        if lowering is None:
+            return {"compiled": 0, "hits": 0, "declined": 0, "cached": 0}
+        return {
+            "compiled": lowering.compiled,
+            "hits": lowering.hits,
+            "declined": lowering.declined,
+            "cached": len(self._kernels),
+        }
 
     # -- incremental registration ----------------------------------------------------
 

@@ -156,10 +156,21 @@ class PhysicalPlanner:
         #: pipeline lowering — SharedScan then falls back to lowering its
         #: own source subtree, which is always correct.
         self.shared_lowering: Any = None
+        #: Set by the executor when kernel compilation is enabled: an
+        #: object with ``lower(plan, planner)`` returning a fused-kernel
+        #: operator for fusable pipelines, or ``None`` to continue with
+        #: the interpreted paths below.  Checked on every recursive
+        #: ``lower`` call, so unfusable roots can still get fused
+        #: subtrees.
+        self.kernel_lowering: Any = None
 
     # -- entry point ------------------------------------------------------------------
 
     def lower(self, plan: LogicalPlan) -> PhysicalOperator:
+        if self.kernel_lowering is not None:
+            fused = self.kernel_lowering.lower(plan, self)
+            if fused is not None:
+                return fused
         if self.use_batch:
             batched = self._lower_batch(plan)
             if batched is not None:

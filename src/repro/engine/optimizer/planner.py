@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.engine.algebra import LogicalPlan, explain as explain_logical
 from repro.engine.catalog import Catalog
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.engine.operators import PhysicalOperator
 from repro.engine.optimizer.cost import CostModel, PlanCost
 from repro.engine.optimizer.join_order import reorder_joins
@@ -59,27 +60,37 @@ class Planner:
     (:mod:`repro.engine.optimizer.join_order`), then lowering to physical
     operators (:class:`~repro.engine.optimizer.physical.PhysicalPlanner`).
 
-    ``optimize=False`` skips rewrites and join reordering (used by the
-    benchmarks to quantify what the optimizer buys); ``use_indexes=False``
-    forces pure scan plans; ``use_batch=False`` forces row-at-a-time plans
-    instead of the columnar batch path.
+    Configuration comes from one :class:`~repro.engine.config.EngineConfig`
+    (``config=``): ``optimize=False`` skips rewrites and join reordering
+    (used by the benchmarks to quantify what the optimizer buys);
+    ``use_indexes=False`` forces pure scan plans; ``use_batch=False``
+    forces row-at-a-time plans instead of the columnar batch path.  The
+    old individual boolean keywords still work through the deprecation
+    shim (:func:`~repro.engine.config.resolve_engine_config`).
     """
 
     def __init__(
         self,
         catalog: Catalog,
-        optimize: bool = True,
-        use_indexes: bool = True,
-        use_batch: bool = True,
+        config: EngineConfig | None = None,
+        *,
+        optimize: bool | None = None,
+        use_indexes: bool | None = None,
+        use_batch: bool | None = None,
         index_advisor=None,
     ):
+        config = resolve_engine_config(
+            config,
+            {"optimize": optimize, "use_indexes": use_indexes, "use_batch": use_batch},
+        )
         self.catalog = catalog
-        self.optimize = optimize
-        self.cost_model = CostModel(catalog, use_indexes=use_indexes)
+        self.config = config
+        self.optimize = config.optimize
+        self.cost_model = CostModel(catalog, use_indexes=config.use_indexes)
         self.physical_planner = PhysicalPlanner(
             catalog,
-            use_indexes=use_indexes,
-            use_batch=use_batch,
+            use_indexes=config.use_indexes,
+            use_batch=config.use_batch,
             index_advisor=index_advisor,
         )
 

@@ -126,13 +126,17 @@ class TickInspector:
         streamed (``flush_seconds``, ``subscription_messages``,
         ``subscription_delta_rows``), and what the WAL persist phase
         wrote (``persist_seconds``, ``wal_bytes``, ``wal_delta_rows`` —
-        all zero when no WAL is attached).
+        all zero when no WAL is attached).  ``engine_config`` records the
+        active :class:`~repro.engine.config.EngineConfig`, so any number
+        taken from these counters carries exactly which engine paths
+        produced it.
         """
         if not self.world.reports:
             return {}
         report = self.world.reports[-1]
         return {
             "tick": report.tick,
+            "engine_config": self.world.config.as_dict(),
             "effect_step_seconds": report.effect_step_seconds,
             "update_step_seconds": report.update_step_seconds,
             "reactive_seconds": report.reactive_seconds,

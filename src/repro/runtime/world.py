@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.engine.errors import ExecutionError
 from repro.engine.executor import Executor, TickQuerySpec
 from repro.engine.expressions import Expression
@@ -127,13 +128,27 @@ class GameWorld:
         mode: ExecutionMode = ExecutionMode.COMPILED,
         layout: SchemaLayout = SchemaLayout.SINGLE,
         vertical_groups: Sequence[Sequence[str]] | None = None,
-        optimize: bool = True,
-        use_indexes: bool = True,
-        use_batch: bool = True,
-        use_incremental: bool = True,
-        auto_index: bool = True,
-        use_mqo: bool = True,
+        config: EngineConfig | None = None,
+        *,
+        optimize: bool | None = None,
+        use_indexes: bool | None = None,
+        use_batch: bool | None = None,
+        use_incremental: bool | None = None,
+        auto_index: bool | None = None,
+        use_mqo: bool | None = None,
     ):
+        config = resolve_engine_config(
+            config,
+            {
+                "optimize": optimize,
+                "use_indexes": use_indexes,
+                "use_batch": use_batch,
+                "use_incremental": use_incremental,
+                "auto_index": auto_index,
+                "use_mqo": use_mqo,
+            },
+        )
+        self.config = config
         self.program = parse_program(source) if isinstance(source, str) else source
         self.analyzed: AnalyzedProgram = analyze_program(self.program)
         self.mode = mode
@@ -150,20 +165,19 @@ class GameWorld:
         #: Auto-creates/evicts spatial indexes for hot band joins (§4.2);
         #: pointless when index plans are disabled, hence the ``and``.
         self.index_advisor: IndexAdvisor | None = (
-            IndexAdvisor(self.catalog) if auto_index and use_indexes else None
+            IndexAdvisor(
+                self.catalog,
+                create_after=config.index_create_after,
+                evict_after=config.index_evict_after,
+            )
+            if config.auto_index and config.use_indexes
+            else None
         )
-        self.executor = Executor(
-            self.catalog,
-            optimize=optimize,
-            use_indexes=use_indexes,
-            use_batch=use_batch,
-            use_incremental=use_incremental,
-            index_advisor=self.index_advisor,
-        )
+        self.executor = Executor(self.catalog, config, index_advisor=self.index_advisor)
         #: Tick-wide multi-query optimization: execute each tick's effect
         #: queries through the executor's shared-subplan pipeline with
         #: in-engine effect aggregation, instead of one-query-at-a-time.
-        self.use_mqo = use_mqo
+        self.use_mqo = config.use_mqo
         #: Compiled queries already offered to the incremental planner,
         #: keyed by their stable ``query_id`` (``id()`` keys are unsafe:
         #: a recycled id would silently skip or double-consider a query).

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import random
 
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.runtime.transactions import TransactionEngine
 from repro.runtime.world import ExecutionMode, GameWorld
 
@@ -59,9 +60,11 @@ def build_marketplace_world(
     price: float = 10.0,
     mode: ExecutionMode = ExecutionMode.INTERPRETED,
     seed: int = 11,
-    use_batch: bool = True,
-    use_incremental: bool = True,
-    use_mqo: bool = True,
+    *,
+    config: EngineConfig | None = None,
+    use_batch: bool | None = None,
+    use_incremental: bool | None = None,
+    use_mqo: bool | None = None,
 ) -> GameWorld:
     """A marketplace with ``n_buyers`` buyers contending over shared sellers.
 
@@ -69,13 +72,11 @@ def build_marketplace_world(
     ``seller_stock`` items — so at most ``seller_stock`` of them can succeed
     per seller before the ``stock >= 0`` constraint aborts the rest.
     """
-    world = GameWorld(
-        MARKET_SOURCE,
-        mode=mode,
-        use_batch=use_batch,
-        use_incremental=use_incremental,
-        use_mqo=use_mqo,
+    config = resolve_engine_config(
+        config,
+        {"use_batch": use_batch, "use_incremental": use_incremental, "use_mqo": use_mqo},
     )
+    world = GameWorld(MARKET_SOURCE, mode=mode, config=config)
     engine = TransactionEngine(
         owned={"Trader": {"gold_delta": "gold", "stock_delta": "stock"}},
         classes={decl.name: decl for decl in world.program.classes},

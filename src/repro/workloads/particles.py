@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
+from repro.engine.config import EngineConfig
 from repro.runtime.physics import PhysicsComponent, PhysicsConfig
 from repro.runtime.world import ExecutionMode, GameWorld
 
@@ -70,9 +71,10 @@ def build_particle_world(
     mode: ExecutionMode = ExecutionMode.COMPILED,
     world_size: float = 200.0,
     seed: int = 5,
+    config: EngineConfig | None = None,
 ) -> GameWorld:
     """A particle system with gravity wells and physics integration."""
-    world = GameWorld(PARTICLES_SOURCE, mode=mode)
+    world = GameWorld(PARTICLES_SOURCE, mode=mode, config=config)
     world.add_component(
         PhysicsComponent(
             PhysicsConfig(

@@ -12,6 +12,7 @@ from __future__ import annotations
 import random
 from typing import Iterable
 
+from repro.engine.config import EngineConfig, resolve_engine_config
 from repro.runtime.physics import PhysicsComponent, PhysicsConfig
 from repro.runtime.world import ExecutionMode, GameWorld
 from repro.sgl.schema_gen import SchemaLayout
@@ -88,27 +89,30 @@ def build_rts_world(
     layout: SchemaLayout = SchemaLayout.SINGLE,
     world_size: float = 100.0,
     seed: int = 17,
+    *,
     with_physics: bool = True,
     scripts: Iterable[str] | None = None,
-    optimize: bool = True,
-    use_indexes: bool = True,
-    use_batch: bool = True,
-    use_incremental: bool = True,
-    auto_index: bool = True,
-    use_mqo: bool = True,
+    config: EngineConfig | None = None,
+    optimize: bool | None = None,
+    use_indexes: bool | None = None,
+    use_batch: bool | None = None,
+    use_incremental: bool | None = None,
+    auto_index: bool | None = None,
+    use_mqo: bool | None = None,
 ) -> GameWorld:
     """Build a ready-to-tick RTS world with *n_units* units."""
-    world = GameWorld(
-        RTS_SOURCE,
-        mode=mode,
-        layout=layout,
-        optimize=optimize,
-        use_indexes=use_indexes,
-        use_batch=use_batch,
-        use_incremental=use_incremental,
-        auto_index=auto_index,
-        use_mqo=use_mqo,
+    config = resolve_engine_config(
+        config,
+        {
+            "optimize": optimize,
+            "use_indexes": use_indexes,
+            "use_batch": use_batch,
+            "use_incremental": use_incremental,
+            "auto_index": auto_index,
+            "use_mqo": use_mqo,
+        },
     )
+    world = GameWorld(RTS_SOURCE, mode=mode, layout=layout, config=config)
     world.add_update_rule(
         "Unit", "health", lambda state, effects: state["health"] - effects.get("damage", 0)
     )

@@ -16,6 +16,7 @@ from repro.engine import (
     Catalog,
     Column,
     DataType,
+    EngineConfig,
     Executor,
     IndexAdvisor,
     Join,
@@ -124,15 +125,17 @@ class TestIndexProbePlanning:
         assert probes and probes[0].index_name == "xy"
 
     def test_hash_index_is_not_probed(self):
+        # Pin the interpreted plan shape: under use_compiled the grid
+        # rebuild is exactly the core the kernel compiler fuses away.
         catalog = _make_catalog()
         catalog.create_index("unit", "h", HashIndex(["x", "y"]))
-        ops = _join_ops(Executor(catalog), band_plan())
+        ops = _join_ops(Executor(catalog, EngineConfig()), band_plan())
         assert not any(isinstance(op, IndexProbeJoinOp) for op in ops)
         assert any(isinstance(op, RangeProbeJoinOp) for op in ops)
 
     def test_no_index_falls_back_to_grid_rebuild(self):
         catalog = _make_catalog()
-        ops = _join_ops(Executor(catalog), band_plan())
+        ops = _join_ops(Executor(catalog, EngineConfig()), band_plan())
         assert any(isinstance(op, RangeProbeJoinOp) for op in ops)
 
     def test_use_indexes_false_forces_rebuild_path(self):
