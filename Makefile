@@ -7,13 +7,14 @@
 # `make bench-subscriptions` = the subscription fan-out speedup gate,
 # `make bench-wal` = the WAL persist-overhead + replay speedup gates,
 # `make bench-compiled` = the kernel-compilation speedup gates,
+# `make bench-fixpoint` = the semi-naive fixpoint + warm re-closure gates,
 # `make cov` = the coverage job (pytest --cov, fails under the floor),
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-ci
+.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-fixpoint bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -69,9 +70,13 @@ bench-wal:
 bench-compiled:
 	$(PYTHON) -m pytest benchmarks/bench_compiled.py -q -s
 
+## Fixpoint gates: semi-naive >=3x naive, warm re-closure >=2x from-scratch.
+bench-fixpoint:
+	$(PYTHON) -m pytest benchmarks/bench_fixpoint.py -q -s
+
 ## Tier-1 tests under coverage (`pip install pytest-cov` if missing).
 cov:
-	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=80
+	$(PYTHON) -m pytest -q --cov=repro --cov-report=term-missing --cov-fail-under=82
 
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:

@@ -22,6 +22,11 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
 * the WAL durability scenario (gated rts workload with an attached delta
   log), yielding the persist efficiency (ticks with vs without the
   persist phase) and the replay-vs-live-rerun speedup,
+* the shared transitive-closure scenario
+  (``benchmarks/fixpoint_scenario.py``, long-diameter supply graph under
+  1% insert-only edge churn) timed as naive fixpoint, from-scratch
+  semi-naive, and warm re-closure from the cached accumulator, yielding
+  the semi-naive and warm-restart speedups,
 * the kernel-compilation scenarios (``benchmarks/bench_compiled.py``):
   the hot filter+aggregate tick query and the scout/unit band join, each
   timed compiled vs interpreted-batch, yielding the compiled speedups.
@@ -61,6 +66,7 @@ sys.path.insert(
 )
 
 import bench_compiled  # noqa: E402
+import fixpoint_scenario  # noqa: E402
 import index_join_scenario  # noqa: E402
 import shared_plans_scenario  # noqa: E402
 import subscription_scenario  # noqa: E402
@@ -92,6 +98,8 @@ GATED_METRICS = {
     "subscriptions.fanout_speedup": "subscription delta fan-out vs naive per-client re-query",
     "compiled.speedup_filter_aggregate": "compiled kernel vs interpreted batch, filter+aggregate",
     "compiled.speedup_band_join": "compiled kernel vs interpreted batch, band join",
+    "fixpoint.speedup_semi_naive_vs_naive": "semi-naive fixpoint iteration vs naive",
+    "fixpoint.incremental_speedup_vs_full": "warm re-closure under churn vs from-scratch semi-naive",
     "wal.persist_efficiency": "tick throughput with the WAL persist phase vs without",
     "wal.replay_speedup_vs_live": "log replay (checkpoint + deltas) vs re-running the live world",
 }
@@ -183,6 +191,52 @@ def bench_index_join(ticks: int = 30) -> dict:
         "row_seconds": round(totals["row"], 6),
         "speedup_vs_rebuild": round(totals["rebuild"] / totals["indexed"], 3),
         "speedup_vs_row": round(totals["row"] / totals["indexed"], 3),
+    }
+
+
+def bench_fixpoint(ticks: int = 8, naive_ticks: int = 2) -> dict:
+    """Semi-naive vs naive closure, and warm re-closure under edge churn.
+
+    The naive path is O(n²) per closure on the long-diameter scenario, so
+    it is timed on the first *naive_ticks* only and compared per tick
+    (the graph only grows with churn — early ticks favor naive, making
+    the gate conservative)."""
+    catalog, edges = fixpoint_scenario.build_edges_catalog()
+    plan = fixpoint_scenario.closure_plan()
+    naive_exec = Executor(catalog, EngineConfig(use_incremental=False, use_fixpoint=False))
+    semi_exec = Executor(catalog, EngineConfig(use_incremental=False))
+    warm_exec = Executor(catalog, EngineConfig())
+    for executor in (naive_exec, semi_exec, warm_exec):
+        executor.execute(plan)
+    rng = random.Random(fixpoint_scenario.SEED)
+    naive_total = semi_total = warm_total = 0.0
+    for tick in range(ticks):
+        fixpoint_scenario.churn_step(edges, rng, tick)
+        start = time.perf_counter()
+        semi_rows = semi_exec.execute(plan).rows
+        semi_total += time.perf_counter() - start
+        if tick < naive_ticks:
+            start = time.perf_counter()
+            naive_exec.execute(plan)
+            naive_total += time.perf_counter() - start
+        start = time.perf_counter()
+        warm_exec.execute(plan)
+        warm_total += time.perf_counter() - start
+    assert {row["node"] for row in semi_rows} == fixpoint_scenario.bfs_reachable(edges)
+    naive_per_tick = naive_total / naive_ticks
+    semi_per_tick = semi_total / ticks
+    warm_per_tick = warm_total / ticks
+    return {
+        "ticks": ticks,
+        "naive_ticks": naive_ticks,
+        "edges": len(edges),
+        "churn_fraction": fixpoint_scenario.CHURN_FRACTION,
+        "naive_seconds_per_tick": round(naive_per_tick, 6),
+        "semi_naive_seconds_per_tick": round(semi_per_tick, 6),
+        "warm_seconds_per_tick": round(warm_per_tick, 6),
+        "warm_restarts": warm_exec.fixpoint_report()["warm_restarts"],
+        "speedup_semi_naive_vs_naive": round(naive_per_tick / semi_per_tick, 3),
+        "incremental_speedup_vs_full": round(semi_per_tick / warm_per_tick, 3),
     }
 
 
@@ -325,6 +379,7 @@ def run_suite() -> dict:
         "subscriptions": bench_subscriptions(),
         "wal": bench_wal(),
         "compiled": bench_compiled_kernels(),
+        "fixpoint": bench_fixpoint(),
     }
 
 

@@ -36,6 +36,8 @@ __all__ = [
     "Limit",
     "Distinct",
     "Union",
+    "RecursiveRef",
+    "Fixpoint",
     "explain",
 ]
 
@@ -384,6 +386,95 @@ class Union(LogicalPlan):
                 f"union inputs differ: {left_schema.names} vs {right_schema.names}"
             )
         return left_schema
+
+
+class RecursiveRef(LogicalPlan):
+    """A reference to the accumulating relation of an enclosing :class:`Fixpoint`.
+
+    The node is a leaf with an *explicit* schema (recursion has no base
+    table the catalog could answer for), so rewrite rules and schema
+    inference work inside the step plan without special cases.  Under
+    semi-naive evaluation the reference is bound to the previous round's
+    delta; under naive evaluation to the full accumulated relation.
+
+    ``name`` distinguishes binding slots when the physical planner installs
+    several (the accumulator plus per-table delta variants for incremental
+    re-closure); plans written by hand or by the SGL compiler use the
+    default accumulator slot.
+    """
+
+    ACCUMULATOR = "__rec__"
+
+    def __init__(self, schema: Schema, name: str = ACCUMULATOR):
+        self.schema = schema
+        self.name = name
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        return self.schema
+
+    def node_label(self) -> str:
+        return f"RecursiveRef({self.name}: {', '.join(self.schema.names)})"
+
+
+class Fixpoint(LogicalPlan):
+    """Least-fixpoint iteration: the closure of ``base`` under ``step``.
+
+    ``step`` must reference the accumulating relation through at least one
+    :class:`RecursiveRef` whose column names match ``base``'s output.  The
+    result is the set (duplicates removed) of all rows derivable from the
+    base rows by repeatedly applying the step, capped at ``max_rounds``
+    rounds (``None`` = iterate to convergence).
+
+    ``distinct_on`` optionally restricts the dedup key to a subset of
+    columns; the *first* derivation of a key wins, so a column carrying the
+    round number becomes a BFS depth / influence radius — exactly what
+    influence maps need.
+    """
+
+    def __init__(
+        self,
+        base: LogicalPlan,
+        step: LogicalPlan,
+        max_rounds: int | None = None,
+        distinct_on: Sequence[str] = (),
+    ):
+        if max_rounds is not None and max_rounds < 0:
+            raise PlanError("fixpoint iteration cap must be non-negative")
+        refs = [node for node in step.walk() if isinstance(node, RecursiveRef)]
+        if not any(ref.name == RecursiveRef.ACCUMULATOR for ref in refs):
+            raise PlanError(
+                "fixpoint step must reference the accumulating relation "
+                "through a RecursiveRef"
+            )
+        self.base = base
+        self.step = step
+        self.max_rounds = max_rounds
+        self.distinct_on = tuple(distinct_on)
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.base, self.step)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Fixpoint":
+        base, step = children
+        return Fixpoint(base, step, self.max_rounds, self.distinct_on)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        base_schema = self.base.output_schema(catalog)
+        step_schema = self.step.output_schema(catalog)
+        if base_schema.names != step_schema.names:
+            raise PlanError(
+                f"fixpoint base and step schemas differ: "
+                f"{base_schema.names} vs {step_schema.names}"
+            )
+        for name in self.distinct_on:
+            if name not in base_schema.names:
+                raise PlanError(f"fixpoint distinct_on column {name!r} not in output")
+        return base_schema
+
+    def node_label(self) -> str:
+        cap = "∞" if self.max_rounds is None else str(self.max_rounds)
+        keys = f", distinct_on=[{', '.join(self.distinct_on)}]" if self.distinct_on else ""
+        return f"Fixpoint(max_rounds={cap}{keys})"
 
 
 def explain(plan: LogicalPlan, indent: int = 0) -> str:

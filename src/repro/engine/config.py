@@ -44,6 +44,10 @@ class EngineConfig:
     ``use_compiled``    compile fusable pipelines into per-plan Python
                         kernels (implies the batch layout; ignored when
                         ``use_batch`` is off).
+    ``use_fixpoint``    evaluate recursive Fixpoint plans semi-naive (each
+                        round joins only the previous round's delta);
+                        ``False`` runs the naive reference loop over the
+                        full accumulator.
     ``index_create_after`` / ``index_evict_after``
                         advisor tuning: hot streak before creating an
                         index, idle ticks before evicting one.
@@ -56,6 +60,7 @@ class EngineConfig:
     use_indexes: bool = True
     auto_index: bool = True
     use_compiled: bool = False
+    use_fixpoint: bool = True
     index_create_after: int = 3
     index_evict_after: int = 30
 
@@ -76,6 +81,7 @@ class EngineConfig:
             use_indexes=False,
             auto_index=False,
             use_compiled=False,
+            use_fixpoint=False,
         )
 
     @classmethod
@@ -122,6 +128,7 @@ _LEGACY_FLAGS = frozenset(
         "use_indexes",
         "auto_index",
         "use_compiled",
+        "use_fixpoint",
     }
 )
 

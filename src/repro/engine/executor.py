@@ -653,6 +653,38 @@ class Executor:
             report.append(stats)
         return report
 
+    def fixpoint_report(self) -> dict[str, int]:
+        """Cumulative counters of every live :class:`FixpointOp`.
+
+        Walks all lowered plans this executor holds (plan cache, tick
+        pipeline entries, shared-subplan definitions), deduplicating
+        operators that appear through several roots.  Counters are
+        cumulative across executions, so callers diff before/after to
+        attribute work to one tick.
+        """
+        from repro.engine.operators.fixpoint import FixpointOp
+
+        seen: dict[int, FixpointOp] = {}
+        roots: list[PhysicalOperator] = [
+            entry.planned.physical for entry in self._cache.values()
+        ]
+        pipeline = self._tick_pipeline
+        if pipeline is not None:
+            roots.extend(entry.physical for entry in pipeline.entries)
+            roots.extend(shared.physical for shared in pipeline.shared)
+        for root in roots:
+            for op in root.walk():
+                if isinstance(op, FixpointOp):
+                    seen.setdefault(id(op), op)
+        ops = list(seen.values())
+        return {
+            "operators": len(ops),
+            "total_rounds": sum(op.total_rounds for op in ops),
+            "total_delta_rows": sum(op.total_delta_rows for op in ops),
+            "warm_restarts": sum(op.warm_restarts for op in ops),
+            "cache_hits": sum(op.cache_hits for op in ops),
+        }
+
     def tick_sharing_report(self) -> dict[str, Any]:
         """Shape of the compiled tick pipeline plus last-tick statistics."""
         pipeline = self._tick_pipeline

@@ -16,10 +16,12 @@ from dataclasses import dataclass
 from repro.engine.algebra import (
     Aggregate,
     Distinct,
+    Fixpoint,
     Join,
     Limit,
     LogicalPlan,
     Project,
+    RecursiveRef,
     Select,
     Sort,
     TableScan,
@@ -84,6 +86,15 @@ class CostModel:
     #: on **every execution** by the grid-rebuild path; a registered table
     #: index amortizes it into the mutations that are happening anyway.
     GRID_BUILD_COST = 1.2
+    #: Assumed iteration count of a Fixpoint (semi-naive rounds until the
+    #: delta dries up).  Graph diameters vary wildly; a fixed moderate
+    #: round count keeps recursive plans comparable to flat ones.
+    FIXPOINT_ROUNDS = 8.0
+    #: Assumed closure blow-up of a Fixpoint over its base (seed) relation.
+    FIXPOINT_GROWTH = 10.0
+    #: Assumed frontier size when costing a step body's RecursiveRef —
+    #: mid-iteration cardinality is unknowable statically.
+    REC_REF_CARD = 256.0
 
     def __init__(self, catalog: Catalog, use_indexes: bool = True):
         self.catalog = catalog
@@ -129,6 +140,10 @@ class CostModel:
             return min(float(plan.count), self.cardinality(plan.child))
         if isinstance(plan, Union):
             return self.cardinality(plan.left) + self.cardinality(plan.right)
+        if isinstance(plan, Fixpoint):
+            return max(1.0, self.cardinality(plan.base) * self.FIXPOINT_GROWTH)
+        if isinstance(plan, RecursiveRef):
+            return self.REC_REF_CARD
         children = plan.children()
         if children:
             return self.cardinality(children[0])
@@ -230,6 +245,15 @@ class CostModel:
             left = self.cost(plan.left)
             right = self.cost(plan.right)
             return PlanCost(left.cardinality + right.cardinality, left.cost + right.cost)
+        if isinstance(plan, Fixpoint):
+            base = self.cost(plan.base)
+            step = self.cost(plan.step)
+            card = self.cardinality(plan)
+            work = base.cost + step.cost * self.FIXPOINT_ROUNDS + card * self.HASH_COST
+            return PlanCost(card, work)
+        if isinstance(plan, RecursiveRef):
+            card = self.cardinality(plan)
+            return PlanCost(card, card * self.ROW_COST)
         children = [self.cost(c) for c in plan.children()]
         total = sum(c.cost for c in children)
         card = self.cardinality(plan)

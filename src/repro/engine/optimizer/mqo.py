@@ -44,10 +44,12 @@ from typing import Iterable, Mapping, Sequence
 from repro.engine.algebra import (
     Aggregate,
     Distinct,
+    Fixpoint,
     Join,
     Limit,
     LogicalPlan,
     Project,
+    RecursiveRef,
     Select,
     Sort,
     TableScan,
@@ -258,6 +260,16 @@ def _fingerprint(plan: LogicalPlan, aliases: list[str]) -> str:
         left = _fingerprint(plan.left, aliases)
         right = _fingerprint(plan.right, aliases)
         return f"∪({left}, {right})"
+    if isinstance(plan, Fixpoint):
+        base = _fingerprint(plan.base, aliases)
+        step = _fingerprint(plan.step, aliases)
+        cap = "∞" if plan.max_rounds is None else str(plan.max_rounds)
+        key = ",".join(plan.distinct_on)
+        return f"μ[{cap}|{key}]({base}, {step})"
+    if isinstance(plan, RecursiveRef):
+        # The accumulator reference is positional inside its Fixpoint —
+        # its name and schema are the whole identity.
+        return f"rec[{plan.name}|{','.join(plan.schema.names)}]"
     # Unknown node type: never shared, never matched.
     return f"opaque#{id(plan)}"
 
@@ -329,6 +341,18 @@ class TickPlan:
 #: scan for a copy); condition-less joins are excluded because their
 #: streamed cross product must never be materialized.
 def _shareable(plan: LogicalPlan) -> bool:
+    if isinstance(plan, Fixpoint):
+        # A fixpoint is a closed recursive computation: identical closures
+        # across scripts materialize once per tick.  Checked before the
+        # RecursiveRef guard below — the step *inside* necessarily contains
+        # the accumulator reference, but the fixpoint as a whole does not
+        # depend on any outer binding.
+        return True
+    if any(isinstance(node, RecursiveRef) for node in plan.walk()):
+        # A subtree still referencing the accumulator is re-bound every
+        # round; materializing one round's result would be wrong for all
+        # the others.
+        return False
     if isinstance(plan, (Select, Project, Aggregate, Union, Distinct, Sort, Limit)):
         return True
     if isinstance(plan, Join):

@@ -25,10 +25,12 @@ from typing import Any, Sequence
 from repro.engine.algebra import (
     Aggregate,
     Distinct,
+    Fixpoint,
     Join,
     Limit,
     LogicalPlan,
     Project,
+    RecursiveRef,
     Select,
     Sort,
     TableScan,
@@ -37,6 +39,7 @@ from repro.engine.algebra import (
 )
 from repro.engine.catalog import Catalog
 from repro.engine.errors import PlanError, SchemaError
+from repro.engine.table import Table
 from repro.engine.optimizer.mqo import SharedScan
 from repro.engine.expressions import (
     BinaryOp,
@@ -74,6 +77,13 @@ from repro.engine.operators import (
     TableScanOp,
     UnionOp,
     ValuesOp,
+)
+from repro.engine.operators.fixpoint import (
+    FixpointOp,
+    LinearStep,
+    RecursiveCell,
+    RecursiveSourceOp,
+    _DeltaVariant,
 )
 from repro.engine.schema import Schema
 from repro.engine.table import Table
@@ -144,11 +154,22 @@ class PhysicalPlanner:
         use_indexes: bool = True,
         use_batch: bool = True,
         index_advisor: Any = None,
+        use_fixpoint: bool = True,
+        fixpoint_incremental: bool = True,
     ):
         self.catalog = catalog
         self.use_indexes = use_indexes
         self.use_batch = use_batch
         self.index_advisor = index_advisor
+        #: Semi-naive fixpoint evaluation; ``False`` lowers Fixpoint nodes
+        #: to the naive reference loop (full accumulator every round).
+        self.use_fixpoint = use_fixpoint
+        #: Lower per-table delta variants of fixpoint steps so cached
+        #: closures warm-restart after insert-only churn.
+        self.fixpoint_incremental = fixpoint_incremental
+        #: Binding slots for RecursiveRef leaves, installed while lowering
+        #: an enclosing Fixpoint: name -> (cell, positional source names).
+        self.recursive_cells: dict[str, tuple[RecursiveCell, Sequence[str] | None]] = {}
         #: Set by the executor while lowering a tick pipeline: an object
         #: with ``row_source(shared_scan)`` / ``batch_source(shared_scan)``
         #: methods resolving :class:`SharedScan` leaves to operators that
@@ -207,6 +228,16 @@ class PhysicalPlanner:
             left = self.lower(plan.left)
             right = self.lower(plan.right)
             return UnionOp(left, right, plan.output_schema(self.catalog))
+        if isinstance(plan, Fixpoint):
+            return self._lower_fixpoint(plan)
+        if isinstance(plan, RecursiveRef):
+            binding = self.recursive_cells.get(plan.name)
+            if binding is None:
+                raise PlanError(
+                    f"recursive reference {plan.name!r} outside an enclosing Fixpoint"
+                )
+            cell, source_names = binding
+            return RecursiveSourceOp(plan.schema, cell, source_names)
         raise PlanError(f"cannot lower logical node {type(plan).__name__}")
 
     # -- scans and selections ------------------------------------------------------------
@@ -498,6 +529,247 @@ class PhysicalPlanner:
         return BatchAggregateOp(
             child, plan.group_by, group_columns, plan.aggregates, plan.output_schema(self.catalog)
         )
+
+
+    # -- fixpoint (recursive) lowering -------------------------------------------------
+
+    def _lower_fixpoint(self, plan: Fixpoint) -> PhysicalOperator:
+        """Lower a Fixpoint: bind its RecursiveRef slots, specialize the step.
+
+        The accumulator cell is installed under
+        :attr:`RecursiveRef.ACCUMULATOR` while the step (and its delta
+        variants) lower, so nested ``RecursiveRef`` leaves resolve to
+        sources reading the current frontier.  The step body itself goes
+        through the ordinary :meth:`lower`, which is what lets batch
+        kernels, index scans and MQO shared sources apply inside a
+        recursive plan.
+        """
+        schema = plan.output_schema(self.catalog)  # validates base/step alignment
+        base_op = self.lower(plan.base)
+        accum_cell = RecursiveCell(RecursiveRef.ACCUMULATOR)
+        saved = self.recursive_cells.get(RecursiveRef.ACCUMULATOR)
+        self.recursive_cells[RecursiveRef.ACCUMULATOR] = (accum_cell, schema.names)
+        try:
+            linear = self._match_linear_step(plan, schema)
+            step_op = self.lower(plan.step) if linear is None else None
+            variants = (
+                self._lower_delta_variants(plan)
+                if self.use_fixpoint and self.fixpoint_incremental
+                else []
+            )
+        finally:
+            if saved is None:
+                self.recursive_cells.pop(RecursiveRef.ACCUMULATOR, None)
+            else:
+                self.recursive_cells[RecursiveRef.ACCUMULATOR] = saved
+        base_tables = [
+            self.catalog.table(name)
+            for name in sorted(plan.base.referenced_tables())
+            if self.catalog.has_table(name)
+        ]
+        step_tables = [
+            self.catalog.table(name)
+            for name in sorted(plan.step.referenced_tables())
+            if self.catalog.has_table(name)
+        ]
+        return FixpointOp(
+            schema,
+            base_op,
+            accum_cell,
+            step_op,
+            linear,
+            semi_naive=self.use_fixpoint,
+            max_rounds=plan.max_rounds,
+            distinct_on=plan.distinct_on,
+            base_tables=base_tables,
+            step_tables=step_tables,
+            delta_variants=variants,
+            warm_restart=self.fixpoint_incremental,
+        )
+
+    def _match_linear_step(
+        self, plan: Fixpoint, schema: Schema
+    ) -> LinearStep | None:
+        """Specialize the linear-recursion shape ``rec ⋈ build``.
+
+        Matches ``Project?(Select*(Join(rec-side, build-side)))`` where
+        exactly one join input is the (possibly Select-wrapped) accumulator
+        reference and the join has equi keys.  The build side is lowered
+        once and hashed per execution; every round then probes it with the
+        frontier instead of re-executing the step subtree.  ``None`` keeps
+        the generic re-execution path (still correct, just not amortized).
+        """
+        node: LogicalPlan = plan.step
+        projections: Sequence[tuple[str, Expression]] | None = None
+        outer_filters: list[Expression] = []
+        if isinstance(node, Project):
+            projections = node.projections
+            node = node.child
+        while isinstance(node, Select):
+            outer_filters.extend(_conjuncts(node.predicate))
+            node = node.child
+        if not isinstance(node, Join) or node.how != "inner" or node.condition is None:
+            return None
+
+        def unwrap(side: LogicalPlan) -> tuple[LogicalPlan, list[Expression]]:
+            filters: list[Expression] = []
+            while isinstance(side, Select):
+                filters.extend(_conjuncts(side.predicate))
+                side = side.child
+            return side, filters
+
+        left_leaf, left_filters = unwrap(node.left)
+        right_leaf, right_filters = unwrap(node.right)
+
+        def is_accum(leaf: LogicalPlan) -> bool:
+            return (
+                isinstance(leaf, RecursiveRef)
+                and leaf.name == RecursiveRef.ACCUMULATOR
+                and tuple(leaf.schema.names) == tuple(schema.names)
+            )
+
+        rec_left = is_accum(left_leaf)
+        rec_right = is_accum(right_leaf)
+        if rec_left == rec_right:
+            return None  # need exactly one recursive input
+        build_plan = node.right if rec_left else node.left
+        if any(isinstance(n, RecursiveRef) for n in build_plan.walk()):
+            return None  # non-linear recursion: fall back to re-execution
+        rec_filters = left_filters if rec_left else right_filters
+
+        try:
+            left_schema = node.left.output_schema(self.catalog)
+            right_schema = node.right.output_schema(self.catalog)
+        except (PlanError, SchemaError):
+            return None
+        equi = _extract_equi_keys(
+            _conjuncts(node.condition), left_schema, right_schema
+        )
+        if equi is None:
+            return None
+        left_keys, right_keys, residual = equi
+        rec_keys, build_keys = (
+            (left_keys, right_keys) if rec_left else (right_keys, left_keys)
+        )
+        if projections is None:
+            combined = left_schema.concat(right_schema)
+            projections = [(name, ColumnRef(name)) for name in combined.names]
+        build_op = self.lower(build_plan)
+        return LinearStep(
+            build_op,
+            rec_keys,
+            build_keys,
+            projections,
+            rec_filters=rec_filters,
+            residual=list(residual) + outer_filters,
+            rec_side_left=rec_left,
+            build_delta=self._lower_build_delta(build_plan),
+        )
+
+    def _lower_build_delta(
+        self, build_plan: LogicalPlan
+    ) -> tuple[Table, RecursiveCell, PhysicalOperator] | None:
+        """A delta variant of a linear step's build side, if it is derived
+        from exactly one table scanned exactly once.  Warm restarts then
+        append just the inserted rows to the build hash instead of
+        re-hashing the whole side (``LinearStep.refresh``)."""
+        if not (self.use_fixpoint and self.fixpoint_incremental):
+            return None
+        names = [
+            name
+            for name in sorted(build_plan.referenced_tables())
+            if self.catalog.has_table(name)
+        ]
+        if len(names) != 1:
+            return None
+        name = names[0]
+        occurrences = sum(
+            1
+            for n in build_plan.walk()
+            if isinstance(n, TableScan) and n.table_name == name
+        )
+        if occurrences != 1:
+            return None
+        table = self.catalog.table(name)
+        cell_name = f"__builddelta__:{name}"
+        cell = RecursiveCell(cell_name)
+        replaced = _replace_scan(build_plan, name, cell_name, self.catalog)
+        if replaced is None:
+            return None
+        self.recursive_cells[cell_name] = (cell, table.schema.names)
+        try:
+            op = self.lower(replaced)
+        finally:
+            self.recursive_cells.pop(cell_name, None)
+        return (table, cell, op)
+
+    def _lower_delta_variants(self, plan: Fixpoint) -> list[_DeltaVariant]:
+        """Per-table delta variants of the step for incremental re-closure.
+
+        For each base table the step scans exactly once, lower a copy of
+        the step with that scan replaced by a delta source; after
+        insert-only churn the FixpointOp evaluates the variant with just
+        the inserted rows against the cached closure.  Tables scanned more
+        than once are skipped (the bilinear delta rule would need cross
+        terms), as are scans hidden behind shared materializations.
+        """
+        variants: list[_DeltaVariant] = []
+        for name in sorted(plan.step.referenced_tables()):
+            if not self.catalog.has_table(name):
+                continue
+            occurrences = sum(
+                1
+                for n in plan.step.walk()
+                if isinstance(n, TableScan) and n.table_name == name
+            )
+            if occurrences != 1:
+                continue
+            table = self.catalog.table(name)
+            cell_name = f"__delta__:{name}"
+            cell = RecursiveCell(cell_name)
+            replaced = _replace_scan(plan.step, name, cell_name, self.catalog)
+            if replaced is None:
+                continue
+            self.recursive_cells[cell_name] = (cell, table.schema.names)
+            try:
+                op = self.lower(replaced)
+            finally:
+                self.recursive_cells.pop(cell_name, None)
+            variants.append(_DeltaVariant(table, cell, op))
+        return variants
+
+
+def _conjuncts(predicate: Expression) -> list[Expression]:
+    if isinstance(predicate, BinaryOp):
+        return list(predicate.conjuncts())
+    return [predicate]
+
+
+def _replace_scan(
+    plan: LogicalPlan, table_name: str, cell_name: str, catalog: Catalog
+) -> LogicalPlan | None:
+    """Copy *plan* with the scan of *table_name* replaced by a delta ref.
+
+    Returns ``None`` when no direct scan was found (e.g. the scan sits
+    behind a SharedScan, whose children are deliberately opaque).
+    """
+    if isinstance(plan, TableScan) and plan.table_name == table_name:
+        return RecursiveRef(plan.output_schema(catalog), name=cell_name)
+    children = plan.children()
+    if not children:
+        return None
+    new_children: list[LogicalPlan] = []
+    found = False
+    for child in children:
+        replaced = _replace_scan(child, table_name, cell_name, catalog)
+        if replaced is None:
+            new_children.append(child)
+        else:
+            new_children.append(replaced)
+            found = True
+    if not found:
+        return None
+    return plan.with_children(new_children)
 
 
 # -- condition analysis helpers ------------------------------------------------------------

@@ -92,6 +92,8 @@ class Planner:
             use_indexes=config.use_indexes,
             use_batch=config.use_batch,
             index_advisor=index_advisor,
+            use_fixpoint=config.use_fixpoint,
+            fixpoint_incremental=config.use_incremental,
         )
 
     def plan(self, logical: LogicalPlan) -> PlannedQuery:

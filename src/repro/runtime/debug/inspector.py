@@ -124,9 +124,13 @@ class TickInspector:
         bought (``shared_subplans``, ``shared_evaluations_saved``,
         ``fused_effect_rows``), what the subscription flush phase
         streamed (``flush_seconds``, ``subscription_messages``,
-        ``subscription_delta_rows``), and what the WAL persist phase
+        ``subscription_delta_rows``), what the WAL persist phase
         wrote (``persist_seconds``, ``wal_bytes``, ``wal_delta_rows`` —
-        all zero when no WAL is attached).  ``engine_config`` records the
+        all zero when no WAL is attached), and what the tick's recursive
+        fixpoint plans iterated (``fixpoint_rounds`` semi-naive rounds
+        feeding ``fixpoint_delta_rows`` frontier rows — per-round work
+        proportional to the delta — plus ``fixpoint_warm_restarts`` and
+        ``fixpoint_cache_hits``).  ``engine_config`` records the
         active :class:`~repro.engine.config.EngineConfig`, so any number
         taken from these counters carries exactly which engine paths
         produced it.
@@ -154,6 +158,10 @@ class TickInspector:
             "persist_seconds": report.persist_seconds,
             "wal_bytes": report.wal_bytes,
             "wal_delta_rows": report.wal_delta_rows,
+            "fixpoint_rounds": report.fixpoint_rounds,
+            "fixpoint_delta_rows": report.fixpoint_delta_rows,
+            "fixpoint_warm_restarts": report.fixpoint_warm_restarts,
+            "fixpoint_cache_hits": report.fixpoint_cache_hits,
         }
 
     def sharing_report(self) -> dict[str, Any]:

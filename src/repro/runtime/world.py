@@ -106,6 +106,15 @@ class TickReport:
     #: changes the commit record carried.
     wal_bytes: int = 0
     wal_delta_rows: int = 0
+    #: Recursive fixpoint plans: semi-naive rounds iterated this tick and
+    #: total frontier (delta) rows fed to those rounds — per-round work
+    #: proportional to the delta, not the accumulated closure.  Warm
+    #: restarts count re-closures seeded from churn deltas instead of
+    #: from scratch; cache hits served an unchanged closure outright.
+    fixpoint_rounds: int = 0
+    fixpoint_delta_rows: int = 0
+    fixpoint_warm_restarts: int = 0
+    fixpoint_cache_hits: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -483,6 +492,7 @@ class GameWorld:
         transactions: list[TransactionRequest] = []
         cache_hits = self.executor.plan_cache_hits
         cache_misses = self.executor.plan_cache_misses
+        fixpoint_before = self.executor.fixpoint_report()
 
         # Effects queued by reactive handlers at the end of the previous tick.
         store.add_all(self.reactive.drain_effects())
@@ -574,6 +584,21 @@ class GameWorld:
 
         report.plan_cache_hits = self.executor.plan_cache_hits - cache_hits
         report.plan_cache_misses = self.executor.plan_cache_misses - cache_misses
+        # Clamped at zero: an advisor-triggered replan above drops cached
+        # plans (and their cumulative counters) before this snapshot.
+        fixpoint_after = self.executor.fixpoint_report()
+        report.fixpoint_rounds = max(
+            0, fixpoint_after["total_rounds"] - fixpoint_before["total_rounds"]
+        )
+        report.fixpoint_delta_rows = max(
+            0, fixpoint_after["total_delta_rows"] - fixpoint_before["total_delta_rows"]
+        )
+        report.fixpoint_warm_restarts = max(
+            0, fixpoint_after["warm_restarts"] - fixpoint_before["warm_restarts"]
+        )
+        report.fixpoint_cache_hits = max(
+            0, fixpoint_after["cache_hits"] - fixpoint_before["cache_hits"]
+        )
         self.tick_count += 1
         self.reports.append(report)
         return report

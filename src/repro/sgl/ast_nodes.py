@@ -27,6 +27,7 @@ __all__ = [
     "SetInsert",
     "IfStatement",
     "AccumLoop",
+    "ReachLoop",
     "WaitNextTick",
     "AtomicBlock",
     "Block",
@@ -199,6 +200,35 @@ class AccumLoop(Statement):
     extent: SglExpression
     body: Block
     follow: Block
+
+
+@dataclass(frozen=True)
+class ReachLoop(Statement):
+    """A transitive-closure loop over a dynamically derived edge relation.
+
+    ``reach TYPE node_var from SEED via TYPE cur_var on COND [iterate N]
+    { body }``
+
+    Starting from the object whose id is ``SEED``, repeatedly expand the
+    reached set: for every reached object (bound to ``cur_var``) every
+    object of the node class (bound to ``node_var``) satisfying ``COND``
+    becomes reached.  ``body`` then runs once per *reached* object with
+    ``node_var`` bound to it — effect assignments inside address the whole
+    closure.  ``iterate N`` caps the number of expansion rounds (N hops).
+
+    The compiler lowers this to a :class:`~repro.engine.algebra.Fixpoint`
+    plan, so closures plan, MQO-share, and incrementalize like any other
+    query; the interpreter runs a reference BFS.
+    """
+
+    node_type: str
+    node_var: str
+    seed: SglExpression
+    via_type: str
+    via_var: str
+    condition: SglExpression
+    body: Block
+    max_rounds: int | None = None
 
 
 @dataclass(frozen=True)

@@ -35,8 +35,19 @@ from dataclasses import dataclass, field
 from typing import Sequence
 
 from repro.engine.aggregates import make_accumulator
-from repro.engine.algebra import Aggregate, AggregateSpec, Join, LogicalPlan, Project, Select, Union
+from repro.engine.algebra import (
+    Aggregate,
+    AggregateSpec,
+    Fixpoint,
+    Join,
+    LogicalPlan,
+    Project,
+    RecursiveRef,
+    Select,
+    Union,
+)
 from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal, UnaryOp
+from repro.engine.schema import Column, Schema
 from repro.sgl.ast_nodes import (
     AccumLoop,
     AtomicBlock,
@@ -47,6 +58,7 @@ from repro.sgl.ast_nodes import (
     IfStatement,
     LetStatement,
     LocalAssign,
+    ReachLoop,
     ScriptDecl,
     SetInsert,
     SglExpression,
@@ -67,6 +79,15 @@ from repro.sgl.schema_gen import GeneratedSchema, SchemaGenerator
 from repro.sgl.semantics import AnalyzedProgram, COMBINATOR_ALIASES, resolve_combinator
 
 __all__ = ["CompiledScript", "CompiledProgram", "SGLCompiler"]
+
+#: Internal column names of a reach-loop's closure relation.  Fixed — not
+#: derived from the loop's variable names — so two scripts that spell their
+#: variables differently still produce identical MQO fingerprints and share
+#: one closure materialization per tick.
+_REACH_ACTOR = "__actor__"
+_REACH_NODE = "__node__"
+_REACH_SRC = "__src__"
+_REACH_DST = "__dst__"
 
 #: Combinator identities used when an accum-loop's aggregate has no rows for
 #: an acting object (the left join produced a null).
@@ -160,6 +181,12 @@ class SGLCompiler:
                     return decl.name
         raise SGLCompileError(f"accum-loop extent must name a class, got {extent!r}")
 
+    def resolve_class_name(self, name: str) -> str:
+        for decl in self.program.classes:
+            if decl.name == name or decl.name.lower() == name.lower():
+                return decl.name
+        raise SGLCompileError(f"unknown class {name!r}")
+
 
 class _SegmentCompiler:
     """Walks one script segment, producing effect queries."""
@@ -180,6 +207,7 @@ class _SegmentCompiler:
         self.queries: list[EffectQuery] = []
         self._accum_counter = 0
         self._atomic_counter = 0
+        self._in_reach_body = False
 
     # -- entry point -----------------------------------------------------------------------
 
@@ -250,6 +278,9 @@ class _SegmentCompiler:
             elif isinstance(statement, AccumLoop):
                 self._collect_refs(statement.body.statements, context, out)
                 self._collect_refs(statement.follow.statements, context, out)
+            elif isinstance(statement, ReachLoop):
+                collect_ref_reads(statement.seed, context, out)
+                self._collect_refs(statement.body.statements, context, out)
             elif isinstance(statement, AtomicBlock):
                 self._collect_refs(statement.body.statements, context, out)
 
@@ -290,6 +321,9 @@ class _SegmentCompiler:
                 continue
             if isinstance(statement, AccumLoop):
                 plan, context = self._compile_accum(statement, plan, condition, context, atomic)
+                continue
+            if isinstance(statement, ReachLoop):
+                self._compile_reach(statement, plan, condition, context, atomic)
                 continue
             if isinstance(statement, WaitNextTick):
                 # Removed by segmentation; reaching one here means the script
@@ -406,6 +440,115 @@ class _SegmentCompiler:
                 if state is not None and state.type_name == "ref":
                     return owner.field_name
         return None
+
+    # -- reach-loops --------------------------------------------------------------------------------
+
+    def _compile_reach(
+        self,
+        loop: ReachLoop,
+        plan: LogicalPlan,
+        condition: Expression,
+        context: LoweringContext,
+        atomic: AtomicBlock | None,
+    ) -> None:
+        """Lower a reach-loop to a :class:`Fixpoint` plan.
+
+        The closure relation holds ``(actor id, reached node id)`` pairs.
+        Its base seeds every acting object on this path with its seed node;
+        its step joins the accumulating closure against an *edge relation*
+        derived once from ``via × node`` pairs satisfying the condition.
+        Deriving the edges outside the recursion keeps the step linear —
+        the physical planner hashes the edge side once per execution and
+        probes it with each round's frontier — and makes the edge subplan
+        itself MQO-shareable.  Body effect queries then join the actor
+        extent back to the closure and the node extent, one row per
+        (actor, reached node) pair.
+        """
+        if self._in_reach_body:
+            raise SGLCompileError(
+                "nested reach-loops are not supported by the set-at-a-time "
+                "compiler; use the interpreter for this script",
+                loop.line,
+            )
+        node_class = self.compiler.resolve_class_name(loop.node_type)
+        self_key = context.self_binding.key_column()
+
+        seed_value = lower_expression(loop.seed, context)
+        base = Project(
+            Select(plan, condition),
+            {_REACH_ACTOR: self_key, _REACH_NODE: seed_value},
+        )
+
+        # The condition may reference only the via/node variables: the edge
+        # relation is derived once for all actors, so a condition over the
+        # acting object would have to re-derive edges per actor.
+        edge_context = LoweringContext(
+            program=self.program,
+            class_decl=self.class_decl,
+            self_name=self.script.self_name,
+        )
+        edge_context.objects[loop.via_var] = ObjectBinding(node_class, loop.via_var)
+        edge_context.objects[loop.node_var] = ObjectBinding(node_class, loop.node_var)
+        cond = lower_expression(loop.condition, edge_context)
+        prefixes = (f"{loop.via_var}.", f"{loop.node_var}.")
+        for column in cond.columns():
+            if not column.startswith(prefixes):
+                raise SGLCompileError(
+                    "a reach-loop condition may only reference its via/node "
+                    f"variables, found {column!r}; use the interpreter for "
+                    "conditions over the acting object",
+                    loop.line,
+                )
+        edges = Project(
+            Select(
+                Join(
+                    self.compiler.extent_plan(node_class, loop.via_var),
+                    self.compiler.extent_plan(node_class, loop.node_var),
+                    None,
+                    how="cross",
+                ),
+                cond,
+            ),
+            {
+                _REACH_SRC: ColumnRef(f"{loop.via_var}.id"),
+                _REACH_DST: ColumnRef(f"{loop.node_var}.id"),
+            },
+        )
+
+        closure_schema = Schema([Column(_REACH_ACTOR), Column(_REACH_NODE)])
+        step = Project(
+            Join(
+                RecursiveRef(closure_schema),
+                edges,
+                BinaryOp("==", ColumnRef(_REACH_NODE), ColumnRef(_REACH_SRC)),
+                how="inner",
+            ),
+            {
+                _REACH_ACTOR: ColumnRef(_REACH_ACTOR),
+                _REACH_NODE: ColumnRef(_REACH_DST),
+            },
+        )
+        closure = Fixpoint(base, step, max_rounds=loop.max_rounds)
+
+        node_alias = loop.node_var
+        body_plan = Join(
+            Join(
+                plan,
+                closure,
+                BinaryOp("==", self_key, ColumnRef(_REACH_ACTOR)),
+                how="inner",
+            ),
+            self.compiler.extent_plan(node_class, node_alias),
+            BinaryOp("==", ColumnRef(_REACH_NODE), ColumnRef(f"{node_alias}.id")),
+            how="inner",
+        )
+        body_context = context.child()
+        body_context.objects[loop.node_var] = ObjectBinding(node_class, node_alias)
+        self._in_reach_body = True
+        try:
+            self._walk(loop.body.statements, body_plan, condition, body_context, atomic)
+        finally:
+            self._in_reach_body = False
 
     # -- accum-loops --------------------------------------------------------------------------------
 

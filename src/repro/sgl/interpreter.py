@@ -34,6 +34,7 @@ from repro.sgl.ast_nodes import (
     LocalAssign,
     NullLiteral,
     NumberLiteral,
+    ReachLoop,
     ScriptDecl,
     SetConstructor,
     SetInsert,
@@ -241,6 +242,9 @@ class _Execution:
         if isinstance(statement, AccumLoop):
             self._exec_accum(statement, env, transaction_sink)
             return
+        if isinstance(statement, ReachLoop):
+            self._exec_reach(statement, env, transaction_sink)
+            return
         if isinstance(statement, WaitNextTick):
             # Segmentation removes top-level waits before execution; one that
             # survives (e.g. running an unsegmented script directly) is a no-op.
@@ -268,6 +272,49 @@ class _Execution:
         follow_env.readable_accums[loop.accum_var] = accumulator.result()
         self.exec_statements(loop.follow.statements, follow_env, transaction_sink)
 
+    def _exec_reach(
+        self,
+        loop: ReachLoop,
+        env: _Environment,
+        transaction_sink: list[EffectAssignment] | None,
+    ) -> None:
+        """Reference BFS for ``reach`` — the oracle the Fixpoint plan must match."""
+        node_class = self._class_by_name(loop.node_type, loop.line)
+        seed = self.eval(loop.seed, env)
+        seed_id = seed.row.get("id") if isinstance(seed, _ObjectValue) else seed
+        rows = list(self.world.extent(node_class))
+        by_id = {row.get("id"): row for row in rows}
+        reached: list[Any] = [seed_id]
+        seen = {seed_id}
+        frontier = [seed_id]
+        rounds = 0
+        while frontier and (loop.max_rounds is None or rounds < loop.max_rounds):
+            rounds += 1
+            next_frontier: list[Any] = []
+            for via_id in frontier:
+                via_row = by_id.get(via_id)
+                if via_row is None:
+                    continue
+                for candidate in rows:
+                    candidate_id = candidate.get("id")
+                    if candidate_id in seen:
+                        continue
+                    cond_env = env.child()
+                    cond_env.objects[loop.via_var] = _ObjectValue(node_class, via_row)
+                    cond_env.objects[loop.node_var] = _ObjectValue(node_class, candidate)
+                    if bool(self.eval(loop.condition, cond_env)):
+                        seen.add(candidate_id)
+                        reached.append(candidate_id)
+                        next_frontier.append(candidate_id)
+            frontier = next_frontier
+        for node_id in reached:
+            row = by_id.get(node_id)
+            if row is None:
+                continue
+            body_env = env.child()
+            body_env.objects[loop.node_var] = _ObjectValue(node_class, row)
+            self.exec_statements(loop.body.statements, body_env, transaction_sink)
+
     def _exec_atomic(self, block: AtomicBlock, env: _Environment) -> None:
         sink: list[EffectAssignment] = []
         self.exec_statements(block.body.statements, env.child(), sink)
@@ -285,12 +332,16 @@ class _Execution:
 
     def _extent_class(self, loop: AccumLoop) -> str:
         if isinstance(loop.extent, Identifier):
-            for decl in self.program.classes:
-                if decl.name == loop.extent.name or decl.name.lower() == loop.extent.name.lower():
-                    return decl.name
+            return self._class_by_name(loop.extent.name, loop.line)
         raise SGLRuntimeError(
             f"accum-loop extent must be a class name, got {loop.extent!r}", loop.line
         )
+
+    def _class_by_name(self, name: str, line: int) -> str:
+        for decl in self.program.classes:
+            if decl.name == name or decl.name.lower() == name.lower():
+                return decl.name
+        raise SGLRuntimeError(f"unknown class {name!r}", line)
 
     # -- effect emission ----------------------------------------------------------------------
 

@@ -36,6 +36,10 @@ KEYWORDS = frozenset(
         "over",
         "from",
         "in",
+        "reach",
+        "via",
+        "on",
+        "iterate",
         "waitNextTick",
         "atomic",
         "require",

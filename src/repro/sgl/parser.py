@@ -10,13 +10,15 @@ Grammar (informal):
     script_decl  := 'script' IDENT '(' IDENT IDENT ')' block
     block        := '{' statement* '}'
     statement    := let | local_assign | effect_assign | set_insert | if
-                  | accum | waitNextTick | atomic
+                  | accum | reach | waitNextTick | atomic
     let          := 'let' IDENT '=' expression ';'
     effect_assign:= lvalue '<-' expression ';'
     set_insert   := lvalue '<=' expression ';'
     if           := 'if' '(' expression ')' block ('else' (block | if))?
     accum        := 'accum' type IDENT 'with' IDENT 'over' type IDENT 'from'
                     expression block 'in' block
+    reach        := 'reach' IDENT IDENT 'from' expression 'via' IDENT IDENT
+                    'on' expression ('iterate' NUMBER)? block
     atomic       := 'atomic' ('require' '(' expression (',' expression)* ')')? block
     expression   := or-expression with C-like precedence
 
@@ -47,6 +49,7 @@ from repro.sgl.ast_nodes import (
     NullLiteral,
     NumberLiteral,
     Program,
+    ReachLoop,
     ScriptDecl,
     SetConstructor,
     SetInsert,
@@ -247,6 +250,8 @@ class Parser:
             return self._if_statement()
         if token.is_keyword("accum"):
             return self._accum_loop()
+        if token.is_keyword("reach"):
+            return self._reach_loop()
         if token.is_keyword("waitNextTick"):
             self._advance()
             self._expect_op(";")
@@ -301,6 +306,45 @@ class Parser:
             extent,
             body,
             follow,
+            line=start.line,
+        )
+
+    def _reach_loop(self) -> ReachLoop:
+        start = self._expect_keyword("reach")
+        node_type = self._expect_ident().text
+        node_var = self._expect_ident().text
+        self._expect_keyword("from")
+        seed = self._expression()
+        self._expect_keyword("via")
+        via_type = self._expect_ident().text
+        via_var = self._expect_ident().text
+        self._expect_keyword("on")
+        condition = self._expression()
+        max_rounds = None
+        if self._match_keyword("iterate"):
+            token = self._current
+            if token.kind != "number":
+                raise SGLSyntaxError(
+                    f"expected a round count after 'iterate', found {token.text!r}",
+                    token.line,
+                    token.column,
+                )
+            self._advance()
+            max_rounds = int(float(token.text))
+            if max_rounds < 0:
+                raise SGLSyntaxError(
+                    "'iterate' round count must be non-negative", token.line, token.column
+                )
+        body = self._block()
+        return ReachLoop(
+            node_type,
+            node_var,
+            seed,
+            via_type,
+            via_var,
+            condition,
+            body,
+            max_rounds,
             line=start.line,
         )
 

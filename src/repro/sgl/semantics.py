@@ -44,6 +44,7 @@ from repro.sgl.ast_nodes import (
     NullLiteral,
     NumberLiteral,
     Program,
+    ReachLoop,
     ScriptDecl,
     SetConstructor,
     SetInsert,
@@ -327,6 +328,9 @@ class _ScriptChecker:
         if isinstance(statement, AccumLoop):
             self._check_accum(statement, scope, in_atomic)
             return
+        if isinstance(statement, ReachLoop):
+            self._check_reach(statement, scope, in_accum_body, in_atomic)
+            return
         if isinstance(statement, WaitNextTick):
             if in_accum_body:
                 raise SGLSemanticError(
@@ -380,13 +384,53 @@ class _ScriptChecker:
         follow_scope.readable_accums[loop.accum_var] = combinator
         self._check_block(loop.follow, follow_scope, False, False, in_atomic)
 
+    def _check_reach(
+        self, loop: ReachLoop, scope: _Scope, in_accum_body: bool, in_atomic: bool
+    ) -> None:
+        node_class = self._resolve_class_name(loop.node_type)
+        if node_class is None:
+            raise SGLSemanticError(
+                f"unknown node class {loop.node_type!r} in reach-loop", loop.line
+            )
+        via_class = self._resolve_class_name(loop.via_type)
+        if via_class is None:
+            raise SGLSemanticError(
+                f"unknown via class {loop.via_type!r} in reach-loop", loop.line
+            )
+        if node_class != via_class:
+            raise SGLSemanticError(
+                f"reach-loop node and via classes must match ({loop.node_type!r} vs "
+                f"{loop.via_type!r}): the reached set and the expansion frontier "
+                "range over one extent",
+                loop.line,
+            )
+        self._check_expression(loop.seed, scope, reading=True)
+        self.info.object_vars[loop.node_var] = node_class
+        self.info.object_vars[loop.via_var] = via_class
+
+        # The condition relates the current frontier object to a candidate
+        # next object — both are in scope, alongside everything outer.
+        cond_scope = scope.child()
+        cond_scope.object_vars[loop.via_var] = via_class
+        cond_scope.object_vars[loop.node_var] = node_class
+        self._check_expression(loop.condition, cond_scope, reading=True)
+
+        # The body runs once per *reached* object; only the node variable is
+        # bound there (the frontier variable exists only in the condition).
+        body_scope = scope.child()
+        body_scope.object_vars[loop.node_var] = node_class
+        self._check_block(loop.body, body_scope, False, in_accum_body, in_atomic)
+
+    def _resolve_class_name(self, name: str) -> str | None:
+        """Case-insensitive class-name lookup (Figure 2 writes ``from UNIT``)."""
+        for decl in self.program.classes:
+            if decl.name == name or decl.name.lower() == name.lower():
+                return decl.name
+        return None
+
     def _extent_class_name(self, extent: SglExpression) -> str | None:
         if isinstance(extent, Identifier):
-            # Extents are case-insensitive on the class name: Figure 2 writes
-            # ``from UNIT`` for class ``Unit``.
-            for decl in self.program.classes:
-                if decl.name == extent.name or decl.name.lower() == extent.name.lower():
-                    return decl.name
+            return self._resolve_class_name(extent.name)
         return None
 
     # -- effect targets ---------------------------------------------------------------------

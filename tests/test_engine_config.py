@@ -38,6 +38,12 @@ class TestPresets:
         assert not config.use_mqo
         assert not config.use_indexes
         assert not config.use_compiled
+        assert not config.use_fixpoint  # naive reference iteration
+
+    def test_fixpoint_on_by_default(self):
+        assert EngineConfig().use_fixpoint
+        assert EngineConfig.fastest().use_fixpoint
+        assert EngineConfig.debug().use_fixpoint
 
     def test_debug_keeps_per_query_plans(self):
         config = EngineConfig.debug()
@@ -86,6 +92,19 @@ class TestFromEnv:
         monkeypatch.setenv("REPRO_ENGINE_PRESET", "fastest")
         world = build_rts_world(5, with_physics=False)
         assert world.config.use_compiled
+
+    @pytest.mark.parametrize("preset", ["default", "fastest", "reference", "debug"])
+    def test_env_presets_round_trip_every_flag(self, monkeypatch, preset):
+        """Each preset survives env resolution and as_dict round-tripping
+        with all fields intact — including ``use_fixpoint`` (regression:
+        new flags must join the presets, the env hook, and the dict view)."""
+        monkeypatch.setenv("REPRO_ENGINE_PRESET", preset)
+        config = EngineConfig.from_env()
+        assert "use_fixpoint" in config.as_dict()
+        assert EngineConfig(**config.as_dict()) == config
+        world = build_rts_world(5, with_physics=False)
+        assert world.config == config
+        assert world.executor.planner.config.use_fixpoint == config.use_fixpoint
 
 
 class TestDeprecationShim:
