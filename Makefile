@@ -8,13 +8,14 @@
 # `make bench-wal` = the WAL persist-overhead + replay speedup gates,
 # `make bench-compiled` = the kernel-compilation speedup gates,
 # `make bench-fixpoint` = the semi-naive fixpoint + warm re-closure gates,
+# `make bench-distributed` = the sharded multi-process speedup gate,
 # `make cov` = the coverage job (pytest --cov, fails under the floor),
 # `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-fixpoint bench-ci
+.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-fixpoint bench-distributed bench-ci
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -73,6 +74,10 @@ bench-compiled:
 ## Fixpoint gates: semi-naive >=3x naive, warm re-closure >=2x from-scratch.
 bench-fixpoint:
 	$(PYTHON) -m pytest benchmarks/bench_fixpoint.py -q -s
+
+## Sharded multi-process gate: >=2x critical-path speedup at 4 shards.
+bench-distributed:
+	$(PYTHON) -m pytest benchmarks/bench_distributed.py -q -s
 
 ## Tier-1 tests under coverage (`pip install pytest-cov` if missing).
 cov:

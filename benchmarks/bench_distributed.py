@@ -1,9 +1,16 @@
-"""E7 — shared-nothing cluster: index partitioning and latency (Section 4.2).
+"""E7 / E21 — distributed execution: simulation and the real sharded engine.
 
-Partitioning the traffic workload across simulated nodes should (a) divide
+E7 (Section 4.2) keeps the original *simulated* shared-nothing cluster:
+partitioning the traffic workload across simulated nodes should (a) divide
 the per-node memory footprint of the big range-tree index, and (b) reduce
 the per-tick compute on the critical path, while higher network latency
 eats into the gain — the latency sensitivity the paper highlights for MMOs.
+
+E21 runs the *real* multi-process sharded engine (``repro.shard``) on the
+rts-derived scenario and gates the critical-path CPU speedup: 4 shards on
+10k units / 1k AOI subscribers must beat the single-process oracle by at
+least 2x.  CPU seconds are scheduling-invariant, so the gate holds on
+single-core CI runners (see ``shard_scenario.run_shard_benchmark``).
 """
 
 from __future__ import annotations
@@ -12,6 +19,7 @@ import random
 
 import pytest
 
+import shard_scenario
 from repro.bench import Experiment
 from repro.engine.distributed import (
     Cluster,
@@ -98,3 +106,50 @@ def test_partitioned_index_memory(capsys):
         experiment.print()
     # Per-node memory shrinks as the index is partitioned across more nodes.
     assert max_bytes[8] < max_bytes[1] / 4
+
+
+# -- E21: the real multi-process sharded engine ------------------------------------------
+
+
+def test_sharded_smoke_two_shards(capsys):
+    """Fast end-to-end pass over the whole protocol at small scale."""
+    result = shard_scenario.run_shard_benchmark(
+        n_units=600, n_subscribers=40, n_shards=2, warmup=1, ticks=2
+    )
+    with capsys.disabled():
+        print(
+            f"\nE21 smoke (2 shards, 600 units): speedup={result['shard_speedup']}x "
+            f"exchange_bytes/tick={result['exchange_bytes_per_tick']}"
+        )
+    assert result["exchange_bytes_per_tick"] > 0
+    assert result["halo_rows_per_tick"] > 0
+    assert result["critical_path_seconds_per_tick"] > 0
+
+
+def test_sharded_speedup_gate(capsys):
+    """The ISSUE 9 acceptance gate: >=2x tick throughput at 4 shards on the
+    10k-unit / 1k-subscriber scenario, measured as critical-path CPU."""
+    result = shard_scenario.run_shard_benchmark(
+        n_units=10_000, n_subscribers=1_000, n_shards=4, warmup=3, ticks=3
+    )
+    experiment = Experiment(
+        "E21: sharded multi-process tick vs single-process oracle",
+        columns=[
+            "shards",
+            "single_cpu_s",
+            "critical_path_s",
+            "speedup",
+            "exchange_bytes",
+        ],
+    )
+    experiment.add_row(
+        shards=result["n_shards"],
+        single_cpu_s=result["single_cpu_seconds_per_tick"],
+        critical_path_s=result["critical_path_seconds_per_tick"],
+        speedup=result["shard_speedup"],
+        exchange_bytes=result["exchange_bytes_per_tick"],
+    )
+    with capsys.disabled():
+        experiment.print()
+    assert result["shard_speedup"] >= 2.0
+    assert result["exchange_bytes_per_tick"] > 0

@@ -29,7 +29,11 @@ Runs a fixed-seed benchmark suite and writes ``BENCH_tick.json``:
   the semi-naive and warm-restart speedups,
 * the kernel-compilation scenarios (``benchmarks/bench_compiled.py``):
   the hot filter+aggregate tick query and the scout/unit band join, each
-  timed compiled vs interpreted-batch, yielding the compiled speedups.
+  timed compiled vs interpreted-batch, yielding the compiled speedups,
+* the sharded-execution scenario (``benchmarks/shard_scenario.py``,
+  10k-unit rts world with 1k AOI subscribers split across 4 worker
+  processes), yielding the critical-path shard speedup vs the
+  single-process oracle plus the exchange bytes shipped per tick.
 
 Regression gating compares the *dimensionless speedups* against the
 checked-in baseline (``benchmarks/BENCH_baseline.json``) and fails when any
@@ -68,6 +72,7 @@ sys.path.insert(
 import bench_compiled  # noqa: E402
 import fixpoint_scenario  # noqa: E402
 import index_join_scenario  # noqa: E402
+import shard_scenario  # noqa: E402
 import shared_plans_scenario  # noqa: E402
 import subscription_scenario  # noqa: E402
 from incremental_scenario import (  # noqa: E402
@@ -102,6 +107,7 @@ GATED_METRICS = {
     "fixpoint.incremental_speedup_vs_full": "warm re-closure under churn vs from-scratch semi-naive",
     "wal.persist_efficiency": "tick throughput with the WAL persist phase vs without",
     "wal.replay_speedup_vs_live": "log replay (checkpoint + deltas) vs re-running the live world",
+    "distributed.shard_speedup": "4-shard critical-path tick CPU vs single-process",
 }
 
 
@@ -369,6 +375,18 @@ def bench_compiled_kernels() -> dict:
     }
 
 
+def bench_distributed() -> dict:
+    """Sharded multi-process tick vs the single-process oracle.
+
+    The gated ``shard_speedup`` is the scheduling-invariant critical-path
+    CPU ratio (see ``shard_scenario.run_shard_benchmark``); wall-clock
+    numbers for both sides ride along as informational.
+    """
+    return shard_scenario.run_shard_benchmark(
+        n_units=10_000, n_subscribers=1_000, n_shards=4, warmup=3, ticks=3
+    )
+
+
 def run_suite() -> dict:
     return {
         "schema": 1,
@@ -380,6 +398,7 @@ def run_suite() -> dict:
         "wal": bench_wal(),
         "compiled": bench_compiled_kernels(),
         "fixpoint": bench_fixpoint(),
+        "distributed": bench_distributed(),
     }
 
 
@@ -431,6 +450,14 @@ def _append_history(results: dict, output_path: str, limit: int = 200) -> None:
             continue
     for name, data in results.get("workloads", {}).items():
         entry["workloads"][name] = data.get("median_tick_seconds")
+    distributed = results.get("distributed")
+    if distributed:
+        entry["distributed"] = {
+            "exchange_bytes_per_tick": distributed.get("exchange_bytes_per_tick"),
+            "critical_path_seconds_per_tick": distributed.get(
+                "critical_path_seconds_per_tick"
+            ),
+        }
     history.append(entry)
     results["history"] = history[-limit:]
 

@@ -18,7 +18,7 @@ from typing import Any, Iterable, Mapping, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.errors import PlanError
-from repro.engine.expressions import ColumnRef, Expression
+from repro.engine.expressions import BinaryOp, ColumnRef, Expression, Literal
 from repro.engine.schema import Column, Schema
 from repro.engine.types import DataType
 
@@ -38,6 +38,8 @@ __all__ = [
     "Union",
     "RecursiveRef",
     "Fixpoint",
+    "ShardedScan",
+    "Exchange",
     "explain",
 ]
 
@@ -71,7 +73,11 @@ class LogicalPlan:
 
     def referenced_tables(self) -> set[str]:
         """Names of all base tables scanned anywhere in the tree."""
-        return {node.table_name for node in self.walk() if isinstance(node, TableScan)}
+        return {
+            node.table_name
+            for node in self.walk()
+            if isinstance(node, (TableScan, ShardedScan))
+        }
 
 
 class TableScan(LogicalPlan):
@@ -475,6 +481,127 @@ class Fixpoint(LogicalPlan):
         cap = "∞" if self.max_rounds is None else str(self.max_rounds)
         keys = f", distinct_on=[{', '.join(self.distinct_on)}]" if self.distinct_on else ""
         return f"Fixpoint(max_rounds={cap}{keys})"
+
+
+class ShardedScan(LogicalPlan):
+    """Scan one shard's slice of a spatially partitioned table.
+
+    A shard owns the half-open range ``low <= axis_column < high`` of the
+    partition axis; ``None`` on either side marks an unbounded edge shard.
+    The node is sugar: :meth:`to_select` expands it into an ordinary
+    ``Select`` over a ``TableScan`` so that every downstream machine —
+    index matching, batch lowering, kernel compilation — applies to the
+    shard slice unchanged.  The optimizer performs this expansion up
+    front; the planner also accepts an unexpanded node.
+    """
+
+    def __init__(
+        self,
+        table_name: str,
+        axis_column: str,
+        low: float | None,
+        high: float | None,
+        alias: str | None = None,
+    ):
+        self.table_name = table_name
+        self.axis_column = axis_column
+        self.low = low
+        self.high = high
+        self.alias = alias
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        schema = catalog.table(self.table_name).schema
+        if self.alias:
+            return schema.qualify(self.alias)
+        return schema
+
+    def to_select(self) -> LogicalPlan:
+        """Expand into ``Select(TableScan, range predicate)``."""
+        scan = TableScan(self.table_name, self.alias)
+        axis = f"{self.alias}.{self.axis_column}" if self.alias else self.axis_column
+        parts: list[Expression] = []
+        if self.low is not None:
+            parts.append(BinaryOp(">=", ColumnRef(axis), Literal(self.low)))
+        if self.high is not None:
+            parts.append(BinaryOp("<", ColumnRef(axis), Literal(self.high)))
+        if not parts:
+            return scan
+        predicate = parts[0]
+        for part in parts[1:]:
+            predicate = BinaryOp("&&", predicate, part)
+        return Select(scan, predicate)
+
+    def node_label(self) -> str:
+        low = "-inf" if self.low is None else f"{self.low:g}"
+        high = "+inf" if self.high is None else f"{self.high:g}"
+        target = self.table_name if not self.alias else f"{self.table_name} AS {self.alias}"
+        return f"ShardedScan({target}, {self.axis_column} in [{low}, {high}))"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ShardedScan)
+            and other.table_name == self.table_name
+            and other.axis_column == self.axis_column
+            and other.low == self.low
+            and other.high == self.high
+            and other.alias == self.alias
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            ("sharded_scan", self.table_name, self.axis_column, self.low, self.high, self.alias)
+        )
+
+
+class Exchange(LogicalPlan):
+    """Route rows to destination shards by their position on the partition axis.
+
+    ``cuts`` holds the interior shard boundaries in ascending order (so
+    ``len(cuts) + 1`` shards); a row's destination is the index of the
+    first cut greater than its axis value.  The output schema gains a
+    ``shard_column`` carrying the destination shard id.
+
+    ``exclude_shard`` drops rows destined for that shard, which turns the
+    operator into a handoff detector: an exchange over shard *i*'s primary
+    table with ``exclude_shard=i`` emits exactly the rows whose updated
+    position has left the shard's range, already labelled with their new
+    owner.
+    """
+
+    SHARD_COLUMN = "__shard__"
+
+    def __init__(
+        self,
+        child: LogicalPlan,
+        axis_column: str,
+        cuts: Sequence[float],
+        shard_column: str = SHARD_COLUMN,
+        exclude_shard: int | None = None,
+    ):
+        if list(cuts) != sorted(cuts):
+            raise PlanError("exchange cuts must be ascending")
+        self.child = child
+        self.axis_column = axis_column
+        self.cuts = tuple(cuts)
+        self.shard_column = shard_column
+        self.exclude_shard = exclude_shard
+
+    def children(self) -> tuple[LogicalPlan, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[LogicalPlan]) -> "Exchange":
+        (child,) = children
+        return Exchange(child, self.axis_column, self.cuts, self.shard_column, self.exclude_shard)
+
+    def output_schema(self, catalog: Catalog) -> Schema:
+        child_schema = self.child.output_schema(catalog)
+        if self.shard_column in child_schema.names:
+            raise PlanError(f"exchange shard column {self.shard_column!r} collides with input")
+        return Schema(list(child_schema) + [Column(self.shard_column, DataType.NUMBER)])
+
+    def node_label(self) -> str:
+        skip = "" if self.exclude_shard is None else f", exclude={self.exclude_shard}"
+        return f"Exchange({self.axis_column}, {len(self.cuts) + 1} shards{skip})"
 
 
 def explain(plan: LogicalPlan, indent: int = 0) -> str:

@@ -13,6 +13,7 @@ from repro.engine.operators.batch_ops import (
     BatchTableScanOp,
     BatchValuesOp,
 )
+from repro.engine.operators.exchange import ExchangeOp
 from repro.engine.operators.filter import FilterOp, ProjectOp
 from repro.engine.operators.fixpoint import (
     FixpointOp,
@@ -73,6 +74,7 @@ __all__ = [
     "RangeProbeJoinOp",
     "IndexProbeJoinOp",
     "CrossJoinOp",
+    "ExchangeOp",
     "HashAggregateOp",
     "SortOp",
     "LimitOp",

@@ -1,0 +1,56 @@
+"""Exchange operator: label rows with their destination shard.
+
+The sharded engine (``repro.shard``) splits the world along one spatial
+axis into half-open ranges separated by ``cuts``.  ``ExchangeOp`` is the
+local half of a shuffle: it computes each row's destination shard with a
+binary search over the cuts and tags the row, leaving the actual shipping
+(framing, pipes, byte accounting) to the coordinator.  With
+``exclude_shard`` set, rows staying on the local shard are dropped, which
+is exactly the handoff-detection query each worker runs after the update
+step.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Iterator
+
+from repro.engine.operators.base import PhysicalOperator
+from repro.engine.schema import Schema
+
+__all__ = ["ExchangeOp"]
+
+
+class ExchangeOp(PhysicalOperator):
+    """Tag each input row with the shard owning its axis value."""
+
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        axis_column: str,
+        cuts: tuple[float, ...],
+        shard_column: str,
+        exclude_shard: int | None,
+        schema: Schema,
+    ):
+        super().__init__(schema, (child,))
+        self.axis_column = axis_column
+        self.cuts = cuts
+        self.shard_column = shard_column
+        self.exclude_shard = exclude_shard
+
+    def _produce(self) -> Iterator[dict[str, Any]]:
+        (child,) = self.children
+        cuts = self.cuts
+        axis = self.axis_column
+        shard_column = self.shard_column
+        exclude = self.exclude_shard
+        for row in child:
+            dest = bisect_right(cuts, row[axis])
+            if dest == exclude:
+                continue
+            yield {**row, shard_column: dest}
+
+    def label(self) -> str:
+        skip = "" if self.exclude_shard is None else f", exclude={self.exclude_shard}"
+        return f"ExchangeOp({self.axis_column}, {len(self.cuts) + 1} shards{skip})"

@@ -93,6 +93,11 @@ class _BandJoinObservation:
     hot_streak: int = 0
     last_active_tick: int = -1
     mean_width: float | None = None
+    #: Largest per-execution average probe width ever observed.  The EWMA
+    #: forgets spikes; halo sizing in the sharded engine must not, because
+    #: a boundary strip narrower than the widest probe silently drops join
+    #: partners.
+    max_width: float = 0.0
 
 
 class IndexAdvisor:
@@ -155,6 +160,8 @@ class IndexAdvisor:
         obs.probes_this_tick += n_probes
         obs.width_sum += width_sum
         obs.width_count += width_count
+        if width_count:
+            obs.max_width = max(obs.max_width, width_sum / width_count)
 
     # -- the per-tick decision ------------------------------------------------------------
 
@@ -233,6 +240,25 @@ class IndexAdvisor:
         out: dict[str, list[str]] = {}
         for (table_name, _), index_name in self._created.items():
             out.setdefault(table_name, []).append(index_name)
+        return out
+
+    def probe_width_report(self) -> dict[str, dict[str, float]]:
+        """Observed band-join probe widths per table.
+
+        The sharded engine's adaptive halo sizing reads this: a boundary
+        strip must be at least half the widest probe (plus margin) for
+        band joins near a shard edge to see all their partners.  Widths
+        are per-execution averages, so callers should leave headroom when
+        per-row probe widths vary.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for (table, _columns), obs in self._observations.items():
+            if obs.max_width <= 0.0:
+                continue
+            entry = out.setdefault(table, {"mean_width": 0.0, "max_width": 0.0})
+            if obs.mean_width is not None:
+                entry["mean_width"] = max(entry["mean_width"], obs.mean_width)
+            entry["max_width"] = max(entry["max_width"], obs.max_width)
         return out
 
     def report(self) -> dict[str, Any]:

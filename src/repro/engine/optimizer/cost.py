@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from repro.engine.algebra import (
     Aggregate,
     Distinct,
+    Exchange,
     Fixpoint,
     Join,
     Limit,
@@ -23,6 +24,7 @@ from repro.engine.algebra import (
     Project,
     RecursiveRef,
     Select,
+    ShardedScan,
     Sort,
     TableScan,
     Union,
@@ -95,6 +97,16 @@ class CostModel:
     #: Assumed frontier size when costing a step body's RecursiveRef —
     #: mid-iteration cardinality is unknowable statically.
     REC_REF_CARD = 256.0
+    #: Assumed wire bytes for one exchanged row (compact JSON, pre-deflate).
+    EXCHANGE_ROW_BYTES = 64.0
+    #: Cost per wire byte shipped through an Exchange.  Cross-shard bytes
+    #: are the scarce resource once work is spread over processes — the
+    #: Swapped Dragonfly lesson — so a shipped row costs several times the
+    #: local per-row handling and plans are pushed to minimize shuffles.
+    EXCHANGE_BYTE_COST = 0.05
+    #: Fraction of a shard's rows expected to cross a boundary per tick
+    #: when an Exchange runs in handoff-detection mode (exclude_shard set).
+    HANDOFF_FRACTION = 0.05
 
     def __init__(self, catalog: Catalog, use_indexes: bool = True):
         self.catalog = catalog
@@ -144,6 +156,14 @@ class CostModel:
             return max(1.0, self.cardinality(plan.base) * self.FIXPOINT_GROWTH)
         if isinstance(plan, RecursiveRef):
             return self.REC_REF_CARD
+        if isinstance(plan, ShardedScan):
+            # Expanding reuses the histogram-based range selectivity.
+            return self.cardinality(plan.to_select())
+        if isinstance(plan, Exchange):
+            child = self.cardinality(plan.child)
+            if plan.exclude_shard is not None:
+                return max(1.0, child * self.HANDOFF_FRACTION)
+            return child
         children = plan.children()
         if children:
             return self.cardinality(children[0])
@@ -254,6 +274,13 @@ class CostModel:
         if isinstance(plan, RecursiveRef):
             card = self.cardinality(plan)
             return PlanCost(card, card * self.ROW_COST)
+        if isinstance(plan, ShardedScan):
+            return self.cost(plan.to_select())
+        if isinstance(plan, Exchange):
+            child = self.cost(plan.child)
+            card = self.cardinality(plan)
+            wire = card * self.EXCHANGE_ROW_BYTES * self.EXCHANGE_BYTE_COST
+            return PlanCost(card, child.cost + child.cardinality * self.EXPR_COST + wire + card)
         children = [self.cost(c) for c in plan.children()]
         total = sum(c.cost for c in children)
         card = self.cardinality(plan)

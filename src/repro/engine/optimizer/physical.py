@@ -25,6 +25,7 @@ from typing import Any, Sequence
 from repro.engine.algebra import (
     Aggregate,
     Distinct,
+    Exchange,
     Fixpoint,
     Join,
     Limit,
@@ -32,6 +33,7 @@ from repro.engine.algebra import (
     Project,
     RecursiveRef,
     Select,
+    ShardedScan,
     Sort,
     TableScan,
     Union,
@@ -62,6 +64,7 @@ from repro.engine.operators import (
     BatchValuesOp,
     CrossJoinOp,
     DistinctOp,
+    ExchangeOp,
     FilterOp,
     HashAggregateOp,
     HashJoinOp,
@@ -188,6 +191,20 @@ class PhysicalPlanner:
     # -- entry point ------------------------------------------------------------------
 
     def lower(self, plan: LogicalPlan) -> PhysicalOperator:
+        if isinstance(plan, ShardedScan):
+            # Expand into Select-over-TableScan first so index matching,
+            # batching and kernels all apply to the shard slice unchanged.
+            return self.lower(plan.to_select())
+        if isinstance(plan, Exchange):
+            child = self.lower(plan.child)
+            return ExchangeOp(
+                child,
+                plan.axis_column,
+                plan.cuts,
+                plan.shard_column,
+                plan.exclude_shard,
+                plan.output_schema(self.catalog),
+            )
         if self.kernel_lowering is not None:
             fused = self.kernel_lowering.lower(plan, self)
             if fused is not None:

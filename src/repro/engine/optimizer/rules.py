@@ -28,12 +28,14 @@ from repro.engine.algebra import (
     LogicalPlan,
     Project,
     Select,
+    ShardedScan,
     TableScan,
 )
 from repro.engine.catalog import Catalog
 from repro.engine.expressions import BinaryOp, Expression, and_all
 
 __all__ = [
+    "expand_sharded_scans",
     "split_conjunctions",
     "push_down_selections",
     "merge_selections",
@@ -50,6 +52,19 @@ def _rewrite_children(plan: LogicalPlan, fn: Callable[[LogicalPlan], LogicalPlan
     if all(new is old for new, old in zip(new_children, children)):
         return plan
     return plan.with_children(new_children)
+
+
+def expand_sharded_scans(plan: LogicalPlan) -> LogicalPlan:
+    """Expand ``ShardedScan`` into ``Select(TableScan, range predicate)``.
+
+    Run first so every later rule — conjunct splitting, pushdown, index
+    matching during lowering — sees the shard slice as an ordinary
+    selection over the base table.
+    """
+    plan = _rewrite_children(plan, expand_sharded_scans)
+    if isinstance(plan, ShardedScan):
+        return plan.to_select()
+    return plan
 
 
 def split_conjunctions(plan: LogicalPlan) -> LogicalPlan:
@@ -186,6 +201,7 @@ def drop_distinct_over_fixpoint(plan: LogicalPlan) -> LogicalPlan:
 
 def apply_standard_rewrites(plan: LogicalPlan, catalog: Catalog) -> LogicalPlan:
     """The default rewrite pipeline used by the planner."""
+    plan = expand_sharded_scans(plan)
     plan = split_conjunctions(plan)
     plan = push_down_selections(plan, catalog)
     plan = merge_selections(plan)

@@ -130,7 +130,11 @@ class TickInspector:
         fixpoint plans iterated (``fixpoint_rounds`` semi-naive rounds
         feeding ``fixpoint_delta_rows`` frontier rows — per-round work
         proportional to the delta — plus ``fixpoint_warm_restarts`` and
-        ``fixpoint_cache_hits``).  ``engine_config`` records the
+        ``fixpoint_cache_hits``).  In a shard worker the exchange counters
+        (``exchange_bytes``/``exchange_rows`` wire traffic sent,
+        ``halo_rows`` ghosts installed, ``handoff_rows`` ownership
+        transfers) are stamped by the shard runtime; they stay zero in a
+        single-process world.  ``engine_config`` records the
         active :class:`~repro.engine.config.EngineConfig`, so any number
         taken from these counters carries exactly which engine paths
         produced it.
@@ -162,6 +166,10 @@ class TickInspector:
             "fixpoint_delta_rows": report.fixpoint_delta_rows,
             "fixpoint_warm_restarts": report.fixpoint_warm_restarts,
             "fixpoint_cache_hits": report.fixpoint_cache_hits,
+            "exchange_bytes": report.exchange_bytes,
+            "exchange_rows": report.exchange_rows,
+            "halo_rows": report.halo_rows,
+            "handoff_rows": report.handoff_rows,
         }
 
     def sharing_report(self) -> dict[str, Any]:

@@ -10,7 +10,7 @@ objects and produces the combined per-object values the update step reads.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Mapping
+from typing import Any, Callable, Iterable, Mapping
 
 from repro.engine.aggregates import AGGREGATE_NAMES, Accumulator, make_accumulator
 from repro.engine.errors import ExecutionError
@@ -153,6 +153,23 @@ class EffectStore:
                 (class_name, object_id, effect)
             ]
         return combined
+
+    def retain(self, predicate: Callable[[str, Any], bool]) -> int:
+        """Drop accumulated effects whose ``(class_name, target_id)`` fails
+        *predicate*; return the number of dropped ``(target, effect)`` keys.
+
+        The sharded engine uses this as its ownership filter: every worker
+        runs the effect step over its owned rows plus replicated ghosts,
+        then keeps only effects aimed at targets it owns, so each effect is
+        applied exactly once fleet-wide without shipping accumulators.
+        """
+        doomed = [
+            key for key in self._accumulators if not predicate(key[0], key[1])
+        ]
+        for key in doomed:
+            del self._accumulators[key]
+            del self._counts[key]
+        return len(doomed)
 
     def clear(self) -> None:
         self._accumulators.clear()

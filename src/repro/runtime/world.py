@@ -115,6 +115,15 @@ class TickReport:
     fixpoint_delta_rows: int = 0
     fixpoint_warm_restarts: int = 0
     fixpoint_cache_hits: int = 0
+    #: Sharded execution (stamped by the shard worker/coordinator; zero in
+    #: a single-process world): wire bytes this process *sent* cross-shard
+    #: during the tick (handoffs + halo replicas, zlib+crc32 framed), the
+    #: rows those frames carried, ghost rows installed from neighbouring
+    #: shards' halo exports, and owned rows handed off to a new owner.
+    exchange_bytes: int = 0
+    exchange_rows: int = 0
+    halo_rows: int = 0
+    handoff_rows: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -210,6 +219,11 @@ class GameWorld:
         self._subscription_manager = None
         #: Durable delta log writer (created by :meth:`attach_wal`).
         self.wal = None
+        #: Shard-worker hook, called between the effect and update steps
+        #: with ``(store, transactions)`` while effects are still raw.  The
+        #: sharded engine uses it to drop ghost rows and non-owned targets;
+        #: ``None`` (the default) is a no-op.
+        self.effect_step_hook: Callable[[EffectStore, list[TransactionRequest]], None] | None = None
 
         self._next_ids: dict[str, int] = {decl.name: 0 for decl in self.program.classes}
         self._enabled_scripts: list[str] = [script.name for script in self.program.scripts]
@@ -287,6 +301,39 @@ class GameWorld:
             rowid = table.rowid_for_key(object_id)
             if rowid is not None:
                 table.delete(rowid)
+
+    def adopt(self, class_name: str, row: Mapping[str, Any]) -> int:
+        """Insert an object with an explicit id (shard handoff / replication).
+
+        *row* is a merged state row as produced by :meth:`get_object` or
+        :meth:`release`, including :data:`KEY_COLUMN`.  The id counter is
+        bumped past the adopted id so later :meth:`spawn` calls on this
+        world can never collide with ids minted elsewhere in the fleet.
+        """
+        object_id = row[KEY_COLUMN]
+        generated = self._generated(class_name)
+        for table_name, schema in generated.state_tables.items():
+            values: dict[str, Any] = {KEY_COLUMN: object_id}
+            for column in schema:
+                if column.name != KEY_COLUMN and column.name in row:
+                    values[column.name] = row[column.name]
+            self.catalog.table(table_name).insert(values)
+        if object_id >= self._next_ids.get(class_name, 0):
+            self._next_ids[class_name] = object_id + 1
+        return object_id
+
+    def release(self, class_name: str, object_id: int) -> dict[str, Any] | None:
+        """Remove an object and return its merged row (shard handoff).
+
+        The inverse of :meth:`adopt`: the returned row is everything the
+        new owner needs to continue the object's life, or ``None`` when
+        the object does not exist here.
+        """
+        row = self.get_object(class_name, object_id)
+        if row is None:
+            return None
+        self.destroy(class_name, object_id)
+        return row
 
     def count(self, class_name: str) -> int:
         generated = self._generated(class_name)
@@ -516,6 +563,12 @@ class GameWorld:
             report.shared_subplans_evaluated = stats.get("shared_subplans_evaluated", 0)
             report.shared_evaluations_saved = stats.get("evaluations_saved", 0)
             report.fused_effect_rows = stats.get("fused_effect_rows", 0)
+
+        # Between effect and update step the shard worker removes ghost
+        # replicas and filters the store down to effects on owned targets,
+        # so the update step below only ever sees this shard's rows.
+        if self.effect_step_hook is not None:
+            self.effect_step_hook(store, transactions)
 
         # -- update step -----------------------------------------------------------------------
         started = time.perf_counter()

@@ -1,0 +1,30 @@
+"""Sharded multi-process tick execution.
+
+One logical tick plan, N worker processes: the world's spatial tables are
+partitioned into axis strips (:class:`~repro.shard.spec.ShardSpec`), each
+worker runs a complete single-process engine over its slice, and the
+coordinator (:class:`~repro.shard.coordinator.ShardedWorld`) drives a
+bulk-synchronous barrier that ships only boundary rows — ownership
+handoffs and halo ghost replicas — as measured zlib+crc32 frames.
+"""
+
+from repro.shard.coordinator import ShardError, ShardTickReport, ShardedWorld
+from repro.shard.plans import ClassPlans, ShardPlanSet
+from repro.shard.spec import ShardSpec
+from repro.shard.wire import decode_frame, encode_frame, frame_rows, unframe_rows
+from repro.shard.worker import ShardWorker, worker_main
+
+__all__ = [
+    "ClassPlans",
+    "ShardError",
+    "ShardPlanSet",
+    "ShardSpec",
+    "ShardTickReport",
+    "ShardWorker",
+    "ShardedWorld",
+    "decode_frame",
+    "encode_frame",
+    "frame_rows",
+    "unframe_rows",
+    "worker_main",
+]

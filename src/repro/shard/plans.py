@@ -1,0 +1,93 @@
+"""Per-shard logical plans: handoff detection and halo export.
+
+Both cross-shard queries a worker runs each tick are expressed in the
+engine's own algebra and executed through the world's executor, so they
+get plan caching, index acceleration (the shard-slice predicate lowers to
+an index range scan once the advisor builds an index on the axis) and
+``explain`` for free:
+
+* the **handoff plan** is an :class:`~repro.engine.algebra.Exchange` over
+  the class's primary table with ``exclude_shard`` set to the local shard
+  — its output is exactly the owned rows whose post-update axis value has
+  left the shard's range, labelled with their new owner, and
+* the **halo plans** are :class:`~repro.engine.algebra.ShardedScan` strips
+  hugging each interior boundary — the rows close enough to a cut that a
+  band/spatial join on a neighbouring shard may need them as ghosts.
+
+Plan objects are cached per class (the executor's plan cache is keyed by
+plan identity) and rebuilt only when the adaptive halo width changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.algebra import Exchange, LogicalPlan, ShardedScan, TableScan
+from repro.shard.spec import ShardSpec
+
+__all__ = ["ClassPlans", "ShardPlanSet"]
+
+
+@dataclass
+class ClassPlans:
+    """The cached per-class plan objects for one shard."""
+
+    handoff: Exchange
+    halo_strips: tuple[LogicalPlan, ...]
+
+
+@dataclass
+class ShardPlanSet:
+    """Builds and caches the cross-shard plans for one worker."""
+
+    spec: ShardSpec
+    shard_id: int
+    n_shards: int
+    halo_width: float
+    _by_class: dict[tuple[str, str], ClassPlans] = field(default_factory=dict)
+
+    def for_class(self, class_name: str, primary_table: str) -> ClassPlans:
+        key = (class_name, primary_table)
+        plans = self._by_class.get(key)
+        if plans is None:
+            plans = self._build(primary_table)
+            self._by_class[key] = plans
+        return plans
+
+    def set_halo(self, halo_width: float) -> bool:
+        """Adopt a new halo width; returns True when plans were rebuilt."""
+        if halo_width == self.halo_width:
+            return False
+        self.halo_width = halo_width
+        self._by_class.clear()
+        return True
+
+    def _build(self, primary_table: str) -> ClassPlans:
+        spec = self.spec
+        cuts = spec.cuts(self.n_shards)
+        low, high = spec.shard_range(self.shard_id, self.n_shards)
+        handoff = Exchange(
+            TableScan(primary_table),
+            spec.axis_column,
+            cuts,
+            exclude_shard=self.shard_id,
+        )
+        strips: list[LogicalPlan] = []
+        if self.n_shards > 1 and self.halo_width > 0:
+            # Any row whose ±halo reach crosses a boundary sits in one of
+            # the two strips hugging this shard's own edges (a reach past a
+            # farther cut implies reaching past the nearer one first).
+            if low is not None:
+                strips.append(
+                    ShardedScan(
+                        primary_table, spec.axis_column, low, low + self.halo_width
+                    )
+                )
+            if high is not None:
+                strip_low = high - self.halo_width
+                if low is not None:
+                    strip_low = max(strip_low, low + self.halo_width)
+                strips.append(
+                    ShardedScan(primary_table, spec.axis_column, strip_low, high)
+                )
+        return ClassPlans(handoff=handoff, halo_strips=tuple(strips))

@@ -1,0 +1,123 @@
+"""Pins the contracts of the cluster partitioners and the network model.
+
+These utilities now back the real sharded engine (``repro.shard``) as
+well as the E7 simulation, so their edge-case behaviour — out-of-bounds
+values, degenerate worlds, range pruning with inverted bounds, and the
+exact byte/message accounting — is locked down here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.distributed import HashPartitioner, NetworkModel, SpatialPartitioner
+from repro.engine.distributed.network import NetworkStats
+
+
+class TestSpatialPartitioner:
+    def test_values_outside_bounds_clamp_to_edge_strips(self):
+        partitioner = SpatialPartitioner("x", n_partitions=4, world_max=100.0)
+        assert partitioner.partition_for_value(-25.0) == 0
+        assert partitioner.partition_for_value(100.0) == 3  # == world_max
+        assert partitioner.partition_for_value(1e12) == 3
+        assert partitioner.partition_of({"x": -1}) == 0
+
+    def test_zero_width_world_degrades_to_single_partition(self):
+        partitioner = SpatialPartitioner(
+            "x", n_partitions=4, world_min=50.0, world_max=50.0
+        )
+        assert partitioner.strip_width == 0
+        assert partitioner.partition_for_value(50.0) == 0
+        assert partitioner.partition_for_value(-10.0) == 0
+        assert partitioner.partitions_for_range([(0.0, 100.0)]) == [0]
+
+    def test_single_partition_owns_everything(self):
+        partitioner = SpatialPartitioner("x", n_partitions=1, world_max=100.0)
+        for value in (-5.0, 0.0, 42.0, 100.0, 5000.0):
+            assert partitioner.partition_for_value(value) == 0
+        assert partitioner.partitions_for_range([(10.0, 90.0)]) == [0]
+
+    def test_partitions_for_range_handles_inverted_and_open_bounds(self):
+        partitioner = SpatialPartitioner("x", n_partitions=4, world_max=100.0)
+        # Inverted bounds still yield the covering strip set, not an
+        # empty range (callers normalise direction, not order).
+        assert partitioner.partitions_for_range([(80.0, 20.0)]) == [0, 1, 2, 3]
+        assert partitioner.partitions_for_range([(60.0, 60.0)]) == [2]
+        # None = unbounded on that side.
+        assert partitioner.partitions_for_range([(None, 30.0)]) == [0, 1]
+        assert partitioner.partitions_for_range([(70.0, None)]) == [2, 3]
+        assert partitioner.partitions_for_range([(None, None)]) == [0, 1, 2, 3]
+
+    def test_only_the_first_axis_prunes(self):
+        partitioner = SpatialPartitioner("x", n_partitions=4, world_max=100.0)
+        # Extra (y, ...) bound pairs are ignored by strip partitioning.
+        assert partitioner.partitions_for_range(
+            [(10.0, 20.0), (0.0, 100.0)]
+        ) == [0]
+
+
+class TestHashPartitioner:
+    def test_partition_is_stable_and_in_range(self):
+        partitioner = HashPartitioner("id", n_partitions=4)
+        for key in (0, 1, "abc", 10**12):
+            first = partitioner.partition_of({"id": key})
+            assert 0 <= first < 4
+            assert partitioner.partition_of({"id": key}) == first
+
+    def test_range_queries_cannot_prune(self):
+        partitioner = HashPartitioner("id", n_partitions=3)
+        assert partitioner.partitions_for_range([(0, 10)]) == [0, 1, 2]
+        assert partitioner.partitions_for_range([(10, 0)]) == [0, 1, 2]
+
+    def test_single_partition_cluster(self):
+        partitioner = HashPartitioner("id", n_partitions=1)
+        assert partitioner.partition_of({"id": 999}) == 0
+        assert partitioner.partitions_for_range([(None, None)]) == [0]
+
+
+class TestNetworkModel:
+    def test_send_accounts_one_message_and_its_bytes(self):
+        network = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1000.0)
+        cost = network.send(500)
+        assert cost == pytest.approx(0.001 + 0.5)
+        assert network.stats.messages == 1
+        assert network.stats.bytes_sent == 500
+        assert network.stats.simulated_seconds == pytest.approx(cost)
+
+    def test_send_rows_charges_at_least_one_row(self):
+        network = NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=None)
+        network.send_rows([])
+        network.send_rows([{"id": 1}, {"id": 2}])
+        assert network.stats.messages == 2
+        # Empty batches still cost one row's framing; others are 64 B/row.
+        assert network.stats.bytes_sent == 1 * 64 + 2 * 64
+
+    def test_broadcast_counts_per_receiver_bytes_but_pays_latency_once(self):
+        network = NetworkModel(latency_s=0.002, bandwidth_bytes_per_s=None)
+        cost = network.broadcast(100, n_receivers=5)
+        # Fan-out is n messages and n copies of the payload on the wire...
+        assert network.stats.messages == 5
+        assert network.stats.bytes_sent == 500
+        # ...but delivery is parallel: simulated time is one message's cost.
+        assert cost == pytest.approx(0.002)
+        assert network.stats.simulated_seconds == pytest.approx(0.002)
+        # Equivalent per-send traffic costs the same bytes, 5x the time.
+        serial = NetworkModel(latency_s=0.002, bandwidth_bytes_per_s=None)
+        for _ in range(5):
+            serial.send(100)
+        assert serial.stats.bytes_sent == network.stats.bytes_sent
+        assert serial.stats.simulated_seconds == pytest.approx(5 * 0.002)
+
+    def test_unmetered_bandwidth_skips_transfer_time(self):
+        network = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=None)
+        assert network.message_cost(10**9) == pytest.approx(0.001)
+
+    def test_reset_zeroes_every_counter(self):
+        network = NetworkModel(latency_s=0.001, bandwidth_bytes_per_s=1e6)
+        network.send(100)
+        network.broadcast(50, n_receivers=3)
+        network.reset()
+        assert network.stats == NetworkStats()
+        assert network.stats.messages == 0
+        assert network.stats.bytes_sent == 0
+        assert network.stats.simulated_seconds == 0.0
