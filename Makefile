@@ -10,12 +10,13 @@
 # `make bench-fixpoint` = the semi-naive fixpoint + warm re-closure gates,
 # `make bench-distributed` = the sharded multi-process speedup gate,
 # `make cov` = the coverage job (pytest --cov, fails under the floor),
-# `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json).
+# `make bench-ci` = the benchmark/regression job (writes BENCH_tick.json),
+# `make loadtest` = the capacity ramp (find the tick-deadline breaking point).
 
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-fixpoint bench-distributed bench-ci
+.PHONY: check test smoke examples lint cov bench bench-columnar bench-incremental bench-index bench-shared bench-subscriptions bench-wal bench-compiled bench-fixpoint bench-distributed bench-ci loadtest
 
 ## Run the tier-1 test suite plus a quickstart smoke run (CI gate).
 check: test smoke
@@ -86,3 +87,8 @@ cov:
 ## CI benchmark pipeline: write BENCH_tick.json, gate vs the baseline.
 bench-ci:
 	$(PYTHON) benchmarks/ci_bench.py --output BENCH_tick.json --baseline benchmarks/BENCH_baseline.json
+
+## Capacity ramp: grow units/subscribers until the tick deadline breaches,
+## report the breaking point with per-phase p50/p95/p99 latencies.
+loadtest:
+	$(PYTHON) benchmarks/loadtest.py --output BENCH_tick.json

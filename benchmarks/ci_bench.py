@@ -85,6 +85,7 @@ from incremental_scenario import (  # noqa: E402
 from repro import ExecutionMode  # noqa: E402
 from repro.engine import EngineConfig
 from repro.engine.executor import Executor  # noqa: E402
+from repro.obs.collector import PHASE_FIELDS  # noqa: E402
 from repro.service.subscriptions import SubscriptionManager  # noqa: E402
 from repro.workloads import build_rts_world  # noqa: E402
 from repro.workloads.marketplace import build_marketplace_world  # noqa: E402
@@ -121,6 +122,16 @@ def _time_ticks(world, ticks: int) -> float:
     return statistics.median(samples)
 
 
+def _phase_medians(world, ticks: int) -> dict:
+    """Per-phase median seconds over the last *ticks* reports, keyed by the
+    live metric's phase label (``repro_tick_phase_seconds{phase=...}``)."""
+    reports = world.reports[-ticks:]
+    return {
+        phase: round(statistics.median(getattr(r, attr) for r in reports), 6)
+        for phase, attr in PHASE_FIELDS
+    }
+
+
 def bench_workloads() -> dict:
     workloads = {
         "rts": lambda: build_rts_world(150, mode=ExecutionMode.COMPILED),
@@ -129,8 +140,12 @@ def bench_workloads() -> dict:
     }
     out = {}
     for name, builder in workloads.items():
-        median = _time_ticks(builder(), ticks=15)
-        out[name] = {"median_tick_seconds": round(median, 6)}
+        world = builder()
+        median = _time_ticks(world, ticks=15)
+        out[name] = {
+            "median_tick_seconds": round(median, 6),
+            "phase_median_seconds": _phase_medians(world, ticks=15),
+        }
     return out
 
 
@@ -449,7 +464,10 @@ def _append_history(results: dict, output_path: str, limit: int = 200) -> None:
         except (KeyError, TypeError):
             continue
     for name, data in results.get("workloads", {}).items():
-        entry["workloads"][name] = data.get("median_tick_seconds")
+        entry["workloads"][name] = {
+            "median_tick_seconds": data.get("median_tick_seconds"),
+            "phase_median_seconds": data.get("phase_median_seconds"),
+        }
     distributed = results.get("distributed")
     if distributed:
         entry["distributed"] = {

@@ -1,0 +1,70 @@
+"""Live metrics: tick a world, scrape it over HTTP like Prometheus would.
+
+``GameWorld.attach_metrics`` feeds every tick's report into a zero-dependency
+metrics registry — per-phase latency histograms, cumulative engine counters,
+last-tick gauges — and :class:`repro.obs.MetricsServer` serves that registry
+in Prometheus text exposition format on ``/metrics`` (plus a ``/healthz``
+probe).  Point a real Prometheus at the printed address, or load the
+exported Chrome trace in https://ui.perfetto.dev to see where each tick's
+time went, phase by phase.
+
+Run with:  python examples/metrics_endpoint.py
+"""
+
+import asyncio
+
+from repro.obs import MetricsServer, scrape
+from repro.workloads.rts import build_rts_world
+
+TICKS = 5
+
+
+async def main() -> None:
+    world = build_rts_world(120)
+    metrics = world.attach_metrics()
+    tracer = world.attach_tracer()
+    for _ in range(TICKS):
+        world.tick()
+
+    server = MetricsServer(
+        metrics.registry, health=lambda: {"tick": world.tick_count}
+    )
+    await server.start()
+    host, port = server.address
+    print(f"serving /metrics on http://{host}:{port}  (tick={world.tick_count})")
+
+    status, body = await scrape(host, port)
+    assert status == 200, status
+    lines = body.splitlines()
+
+    # The scrape must carry populated per-phase latency histograms.
+    phase_counts = [
+        line for line in lines if line.startswith("repro_tick_phase_seconds_count")
+    ]
+    assert phase_counts, "phase histograms missing from the scrape"
+    assert all(line.endswith(f" {TICKS}") for line in phase_counts), phase_counts
+    assert f"repro_ticks_total {TICKS}" in lines
+
+    print("\nscrape excerpt:")
+    for line in lines:
+        if line.startswith(("repro_ticks_total", "repro_tick ", "repro_tick_phase_seconds_count")):
+            print(f"  {line}")
+
+    status, health = await scrape(host, port, "/healthz")
+    print(f"\n/healthz -> {status} {health.strip()}")
+
+    quantiles = metrics.phase_quantiles()
+    print("\nper-phase latency percentiles (ms):")
+    for phase, q in quantiles.items():
+        print(
+            f"  {phase:<8} p50={q['p50'] * 1000:7.3f}  "
+            f"p95={q['p95'] * 1000:7.3f}  p99={q['p99'] * 1000:7.3f}"
+        )
+
+    print(f"\ntrace buffer: {len(tracer.events)} spans "
+          f"(tracer.export('tick.trace.json') for Perfetto)")
+    await server.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -141,11 +141,13 @@ class _CachedPlan:
 class _SharedResult:
     """Tick-scoped materialization of one shared subplan."""
 
-    __slots__ = ("rows", "batch")
+    __slots__ = ("rows", "batch", "seconds")
 
     def __init__(self) -> None:
         self.rows: list[dict[str, Any]] | None = None
         self.batch: ColumnBatch | None = None
+        #: Wall seconds spent materializing (traced per MQO fingerprint).
+        self.seconds = 0.0
 
 
 @dataclass
@@ -286,6 +288,9 @@ class Executor:
         self.plan_cache_misses = 0
         #: Sharing statistics of the most recent ``execute_tick`` call.
         self.last_tick_stats: dict[str, Any] = {}
+        #: Materialization seconds per shared-subplan fingerprint for the
+        #: most recent ``execute_tick`` call (consumed by the tick tracer).
+        self.last_shared_timings: dict[str, float] = {}
 
     # -- planning ---------------------------------------------------------------------
 
@@ -550,6 +555,10 @@ class Executor:
                     TickQueryResult(spec.key, rows, partials, runtime, entry.planned)
                 )
             evaluated = len(self._shared_results)
+            self.last_shared_timings = {
+                fingerprint: result.seconds
+                for fingerprint, result in self._shared_results.items()
+            }
         finally:
             self._shared_results.clear()
         tick_plan = pipeline.tick_plan
@@ -579,11 +588,14 @@ class Executor:
         result = _SharedResult()
         # Evaluation may recurse into _ensure_shared through nested shared
         # sources; nesting is acyclic (a shared subplan only references
-        # strictly smaller ones).
+        # strictly smaller ones).  Timings therefore nest too: an outer
+        # subplan's seconds include the inner ones it pulled in.
+        started = time.perf_counter()
         if shared.batch_root is not None:
             result.batch = shared.batch_root.execute()
         else:
             result.rows = shared.physical.rows()
+        result.seconds = time.perf_counter() - started
         self._shared_results[fingerprint] = result
         return result
 
@@ -701,6 +713,7 @@ class Executor:
                     "consumers": shared.consumers,
                     "batch": shared.batch_root is not None,
                     "plan": shared.physical.label(),
+                    "seconds_last_tick": self.last_shared_timings.get(shared.fingerprint),
                 }
                 for shared in pipeline.shared
             ],

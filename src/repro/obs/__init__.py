@@ -1,0 +1,56 @@
+"""SRE-grade observability: metrics registry, Prometheus endpoint, tracing.
+
+The operations surface of the engine (ISSUE 10): :mod:`repro.obs.metrics`
+holds the zero-dependency registry (counters, gauges, log-bucketed latency
+histograms with p50/p95/p99 estimation), :mod:`repro.obs.collector` feeds
+it per tick from :class:`~repro.runtime.world.TickReport` (and per sharded
+tick, with ``shard`` labels, from the coordinator's
+:class:`~repro.shard.coordinator.ShardTickReport`),
+:mod:`repro.obs.prometheus` renders the text exposition format,
+:mod:`repro.obs.http` serves ``/metrics`` and ``/healthz`` over asyncio,
+and :mod:`repro.obs.tracing` emits per-phase / per-shared-subplan spans as
+Chrome trace-event JSON.
+
+Typical wiring::
+
+    from repro.obs import MetricsServer
+
+    world = build_rts_world(1000)
+    metrics = world.attach_metrics()          # WorldMetrics, fed every tick
+    server = MetricsServer(
+        metrics.registry, health=lambda: {"tick": world.tick_count}
+    )
+    await server.start()                      # GET /metrics, /healthz
+"""
+
+from repro.obs.collector import PHASE_FIELDS, ShardMetrics, WorldMetrics
+from repro.obs.http import MetricsServer, scrape
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricFamily,
+    MetricsRegistry,
+    default_latency_buckets,
+)
+from repro.obs.prometheus import CONTENT_TYPE, render
+from repro.obs.tracing import TickTracer
+
+__all__ = [
+    "PHASE_FIELDS",
+    "WorldMetrics",
+    "ShardMetrics",
+    "MetricsServer",
+    "scrape",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricFamily",
+    "MetricsRegistry",
+    "default_latency_buckets",
+    "CONTENT_TYPE",
+    "render",
+    "TickTracer",
+]

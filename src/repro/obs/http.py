@@ -1,0 +1,126 @@
+"""Asyncio HTTP endpoint serving ``/metrics`` and ``/healthz``.
+
+A deliberately tiny HTTP/1.0-style server over asyncio streams — enough
+for a Prometheus scraper or a ``curl`` — with no third-party dependency.
+It runs standalone (``MetricsServer(registry); await server.start()``) or
+alongside the subscription service's TCP server in the same event loop
+(pass it to :class:`~repro.service.server.SubscriptionServer` as
+``metrics_server`` and it starts/stops with the service).
+
+Routes:
+
+* ``GET /metrics`` — the registry in Prometheus text exposition format.
+* ``GET /healthz`` — ``{"status": "ok", ...}`` JSON; an optional health
+  callback contributes extra fields (e.g. the world's tick counter).
+* anything else — 404.
+
+Each request is answered and the connection closed (``Connection:
+close``), which keeps the loop trivial and is exactly how scrapers behave.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Callable
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.prometheus import CONTENT_TYPE, render
+
+__all__ = ["MetricsServer", "scrape"]
+
+
+class MetricsServer:
+    """Serve one registry over HTTP; port 0 picks a free port on start."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        health: Callable[[], dict[str, Any]] | None = None,
+    ):
+        self.registry = registry
+        self.host = host
+        self.port = port
+        self.health = health
+        self._server: asyncio.base_events.Server | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        return self.host, self.port
+
+    @property
+    def started(self) -> bool:
+        return self._server is not None
+
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+
+    # -- request handling ----------------------------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request_line = await reader.readline()
+            parts = request_line.decode("latin-1").split()
+            if len(parts) < 2:
+                return
+            method, path = parts[0], parts[1]
+            while True:  # drain headers; nothing in them changes the answer
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+            status, content_type, body = self._route(method, path)
+            payload = body.encode("utf-8")
+            head = (
+                f"HTTP/1.0 {status}\r\n"
+                f"Content-Type: {content_type}\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            writer.write(head.encode("latin-1") + payload)
+            await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+
+    def _route(self, method: str, path: str) -> tuple[str, str, str]:
+        if method != "GET":
+            return "405 Method Not Allowed", "text/plain; charset=utf-8", "method not allowed\n"
+        path = path.split("?", 1)[0]
+        if path == "/metrics":
+            return "200 OK", CONTENT_TYPE, render(self.registry)
+        if path == "/healthz":
+            status: dict[str, Any] = {"status": "ok"}
+            if self.health is not None:
+                status.update(self.health())
+            return "200 OK", "application/json; charset=utf-8", json.dumps(status) + "\n"
+        return "404 Not Found", "text/plain; charset=utf-8", "not found\n"
+
+
+async def scrape(host: str, port: int, path: str = "/metrics") -> tuple[int, str]:
+    """Minimal scrape client: ``(status code, body)`` for one GET."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(f"GET {path} HTTP/1.0\r\nHost: {host}\r\n\r\n".encode("latin-1"))
+        await writer.drain()
+        raw = await reader.read()
+    finally:
+        writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    status_line = head.split(b"\r\n", 1)[0].decode("latin-1")
+    status = int(status_line.split()[1])
+    return status, body.decode("utf-8")

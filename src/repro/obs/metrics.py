@@ -1,0 +1,359 @@
+"""Zero-dependency metrics primitives: counters, gauges, latency histograms.
+
+The registry is the hub of the observability layer (ISSUE 10): every tick
+the :mod:`repro.obs.collector` feeds it from
+:class:`~repro.runtime.world.TickReport`, the Prometheus renderer in
+:mod:`repro.obs.prometheus` scrapes it, and shard workers ship snapshots
+(:meth:`MetricsRegistry.as_dict`) that the coordinator folds back in with
+:meth:`MetricsRegistry.merge`.
+
+Design constraints, in order:
+
+* **Cheap writes.** A tick observes ~30 metrics; the whole observation
+  must stay far under 3% of a tick (gated in ``tests/test_observability.py``).
+  Counters and gauges are a single locked float add/store; histograms a
+  ``bisect`` into a static bucket ladder.
+* **Mergeable.** Counters and histogram buckets are sums, so per-process
+  registries combine associatively — exactly what the shard coordinator
+  needs when it aggregates worker snapshots under one ``shard`` label.
+* **Schema-stable.** Families declare their label names up front and
+  reject mismatched label sets, so a scrape never sees the same metric
+  with drifting label keys.
+
+Histograms are **log-bucketed**: bucket upper bounds form a geometric
+ladder (default ×2 per bucket from 1µs to ~16s, plus an overflow bucket),
+so relative error of a quantile estimate is bounded by the bucket ratio
+regardless of the latency's magnitude.  Quantiles interpolate linearly
+inside the winning bucket and clamp to the observed min/max, which keeps
+single-observation histograms exact and p50 ≤ p95 ≤ p99 monotone.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping, Sequence
+
+__all__ = [
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricsRegistry",
+    "default_latency_buckets",
+]
+
+
+class MetricError(RuntimeError):
+    """Invalid metric name, label set, or incompatible merge."""
+
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def default_latency_buckets() -> tuple[float, ...]:
+    """The default log ladder: ×2 per bucket, 1µs up to ~16.8s."""
+    return tuple(1e-6 * (2.0**i) for i in range(25))
+
+
+class Counter:
+    """A monotonically increasing sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Histogram:
+    """Log-bucketed distribution with streaming quantile estimation.
+
+    ``bounds`` are ascending bucket *upper* edges; observations above the
+    last edge land in the overflow bucket.  ``counts`` has one slot per
+    bound plus the overflow slot.
+    """
+
+    __slots__ = ("bounds", "counts", "sum", "count", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] | None = None) -> None:
+        self.bounds: tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else default_latency_buckets()
+        )
+        if not self.bounds or list(self.bounds) != sorted(set(self.bounds)):
+            raise MetricError("histogram bounds must be non-empty, ascending, unique")
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def overflow(self) -> int:
+        """Observations above the last bucket edge."""
+        return self.counts[-1]
+
+    def cumulative(self) -> list[int]:
+        """Cumulative counts per bound (Prometheus ``le`` semantics),
+        excluding the implicit ``+Inf`` bucket (= :attr:`count`)."""
+        out, running = [], 0
+        for c in self.counts[:-1]:
+            running += c
+            out.append(running)
+        return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile (0 ≤ q ≤ 1); 0.0 when empty.
+
+        Linear interpolation inside the winning bucket, clamped to the
+        observed ``[min, max]`` so a single observation is returned
+        exactly and estimates never leave the observed range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise MetricError(f"quantile {q} outside [0, 1]")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        running = 0.0
+        for index, bucket_count in enumerate(self.counts):
+            if bucket_count == 0:
+                continue
+            if running + bucket_count >= target:
+                lower = self.bounds[index - 1] if index > 0 else min(self.min, 0.0)
+                upper = self.bounds[index] if index < len(self.bounds) else self.max
+                fraction = (target - running) / bucket_count
+                estimate = lower + (upper - lower) * max(0.0, min(1.0, fraction))
+                return max(self.min, min(self.max, estimate))
+            running += bucket_count
+        return self.max
+
+    def quantiles(self, qs: Iterable[float] = (0.5, 0.95, 0.99)) -> dict[str, float]:
+        """The conventional percentile summary, keyed ``p50``-style."""
+        return {f"p{round(q * 100):d}": self.quantile(q) for q in qs}
+
+
+def _label_key(label_names: tuple[str, ...], labels: Mapping[str, Any]) -> tuple[str, ...]:
+    if set(labels) != set(label_names):
+        raise MetricError(
+            f"expected labels {sorted(label_names)}, got {sorted(labels)}"
+        )
+    return tuple(str(labels[name]) for name in label_names)
+
+
+class MetricFamily:
+    """One named metric and all of its labeled children."""
+
+    def __init__(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        label_names: tuple[str, ...],
+        buckets: tuple[float, ...] | None = None,
+    ):
+        self.kind = kind
+        self.name = name
+        self.help = help
+        self.label_names = label_names
+        self.buckets = buckets
+        #: label-value tuple (ordered as ``label_names``) → metric.
+        self.children: dict[tuple[str, ...], Counter | Gauge | Histogram] = {}
+
+    def _make(self) -> Counter | Gauge | Histogram:
+        if self.kind == "counter":
+            return Counter()
+        if self.kind == "gauge":
+            return Gauge()
+        return Histogram(self.buckets)
+
+    def labels(self, **labels: Any) -> Any:
+        """The child for one label combination (created on first use)."""
+        key = _label_key(self.label_names, labels)
+        child = self.children.get(key)
+        if child is None:
+            child = self.children[key] = self._make()
+        return child
+
+    def samples(self) -> list[tuple[dict[str, str], Counter | Gauge | Histogram]]:
+        """``(labels dict, metric)`` pairs in sorted label order."""
+        return [
+            (dict(zip(self.label_names, key)), child)
+            for key, child in sorted(self.children.items())
+        ]
+
+
+class MetricsRegistry:
+    """A process-local set of metric families, mergeable across processes.
+
+    All mutation goes through one re-entrant lock: the HTTP scrape thread,
+    the tick loop, and coordinator merges may interleave freely.
+    """
+
+    def __init__(self) -> None:
+        self._families: dict[str, MetricFamily] = {}
+        self._lock = threading.RLock()
+
+    # -- declaration ---------------------------------------------------------------------
+
+    def _family(
+        self,
+        kind: str,
+        name: str,
+        help: str,
+        labels: Sequence[str],
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        if not _NAME_RE.match(name):
+            raise MetricError(f"invalid metric name {name!r}")
+        label_names = tuple(labels)
+        for label in label_names:
+            if not _LABEL_RE.match(label):
+                raise MetricError(f"invalid label name {label!r}")
+        with self._lock:
+            family = self._families.get(name)
+            if family is not None:
+                if family.kind != kind or family.label_names != label_names:
+                    raise MetricError(
+                        f"metric {name!r} already registered as {family.kind} "
+                        f"with labels {family.label_names}"
+                    )
+                return family
+            family = MetricFamily(
+                kind, name, help, label_names,
+                tuple(buckets) if buckets is not None else None,
+            )
+            self._families[name] = family
+            return family
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family("counter", name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> MetricFamily:
+        return self._family("gauge", name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] | None = None,
+    ) -> MetricFamily:
+        return self._family("histogram", name, help, labels, buckets)
+
+    # -- access --------------------------------------------------------------------------
+
+    def families(self) -> list[MetricFamily]:
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
+
+    def get(self, name: str) -> MetricFamily | None:
+        with self._lock:
+            return self._families.get(name)
+
+    def value(self, name: str, **labels: Any) -> float:
+        """Convenience: the scalar value of one counter/gauge child."""
+        family = self._families[name]
+        child = family.labels(**labels)
+        if isinstance(child, Histogram):
+            raise MetricError(f"{name!r} is a histogram; read its fields instead")
+        return child.value
+
+    # -- snapshots and merging -----------------------------------------------------------
+
+    def as_dict(self) -> dict[str, Any]:
+        """A picklable/JSON-able snapshot (the shard wire format)."""
+        with self._lock:
+            out: dict[str, Any] = {}
+            for family in self.families():
+                children = []
+                for labels, child in family.samples():
+                    if isinstance(child, Histogram):
+                        children.append(
+                            {
+                                "labels": labels,
+                                "counts": list(child.counts),
+                                "sum": child.sum,
+                                "count": child.count,
+                                "min": child.min,
+                                "max": child.max,
+                            }
+                        )
+                    else:
+                        children.append({"labels": labels, "value": child.value})
+                out[family.name] = {
+                    "kind": family.kind,
+                    "help": family.help,
+                    "labels": list(family.label_names),
+                    "buckets": list(family.buckets) if family.buckets else None,
+                    "children": children,
+                }
+            return out
+
+    def merge(self, snapshot: "MetricsRegistry | Mapping[str, Any]") -> None:
+        """Fold another registry (or an :meth:`as_dict` snapshot) into this one.
+
+        Counters and histogram buckets add; gauges take the incoming value
+        (last writer wins, matching their scalar semantics).  Families
+        missing here are created with the snapshot's declaration.
+        """
+        if isinstance(snapshot, MetricsRegistry):
+            snapshot = snapshot.as_dict()
+        with self._lock:
+            for name, data in snapshot.items():
+                family = self._family(
+                    data["kind"], name, data["help"], data["labels"], data["buckets"]
+                )
+                for entry in data["children"]:
+                    child = family.labels(**entry["labels"])
+                    if isinstance(child, Histogram):
+                        if len(child.counts) != len(entry["counts"]):
+                            raise MetricError(
+                                f"histogram {name!r} bucket layouts differ; cannot merge"
+                            )
+                        for index, count in enumerate(entry["counts"]):
+                            child.counts[index] += count
+                        child.sum += entry["sum"]
+                        child.count += entry["count"]
+                        child.min = min(child.min, entry["min"])
+                        child.max = max(child.max, entry["max"])
+                    elif isinstance(child, Counter):
+                        child.value += entry["value"]
+                    else:
+                        child.set(entry["value"])
+
+    @classmethod
+    def from_dict(cls, snapshot: Mapping[str, Any]) -> "MetricsRegistry":
+        registry = cls()
+        registry.merge(snapshot)
+        return registry

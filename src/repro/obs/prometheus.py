@@ -1,0 +1,75 @@
+"""Prometheus text exposition (format version 0.0.4) for a registry.
+
+Pure string rendering — no client library, no HTTP.  The output of
+:func:`render` is what :class:`~repro.obs.http.MetricsServer` serves at
+``/metrics`` and what the exposition-format tests pin down exactly.
+
+Rendering rules (the subset of the spec this exporter uses):
+
+* ``# HELP``/``# TYPE`` precede each family; families sort by name.
+* Label values escape ``\\``, ``"`` and newlines; labels render in the
+  family's declared order with the samples sorted by label values.
+* Histograms expand to cumulative ``_bucket`` samples (one per upper
+  bound plus ``+Inf``), ``_sum`` and ``_count``; the ``le`` label is
+  appended after any family labels.
+* Values render as integers when exact, otherwise via ``repr`` (shortest
+  round-trip float), matching what Prometheus parses.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+__all__ = ["CONTENT_TYPE", "render"]
+
+#: The Content-Type a scrape endpoint must declare for this format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str], extra: tuple[str, str] | None = None) -> str:
+    parts = [f'{name}="{_escape_label(str(value))}"' for name, value in labels.items()]
+    if extra is not None:
+        parts.append(f'{extra[0]}="{extra[1]}"')
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render(registry: MetricsRegistry) -> str:
+    """The registry in Prometheus text exposition format (trailing newline)."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, child in family.samples():
+            if isinstance(child, Histogram):
+                for bound, cumulative in zip(child.bounds, child.cumulative()):
+                    suffix = _format_labels(labels, ("le", _format_value(bound)))
+                    lines.append(f"{family.name}_bucket{suffix} {cumulative}")
+                suffix = _format_labels(labels, ("le", "+Inf"))
+                lines.append(f"{family.name}_bucket{suffix} {child.count}")
+                labelstr = _format_labels(labels)
+                lines.append(f"{family.name}_sum{labelstr} {_format_value(child.sum)}")
+                lines.append(f"{family.name}_count{labelstr} {child.count}")
+            else:
+                labelstr = _format_labels(labels)
+                lines.append(f"{family.name}{labelstr} {_format_value(child.value)}")
+    return "\n".join(lines) + "\n" if lines else ""

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
-from repro.runtime.world import ExecutionMode, GameWorld
+from repro.runtime.world import ExecutionMode, GameWorld, TickReport
 
 __all__ = ["EffectTrace", "TickInspector", "explain_script_plans"]
 
@@ -138,39 +138,17 @@ class TickInspector:
         active :class:`~repro.engine.config.EngineConfig`, so any number
         taken from these counters carries exactly which engine paths
         produced it.
+
+        Before the first tick the full schema is returned **zeroed**
+        (``tick`` = -1) instead of an empty dict, so scrapers and
+        dashboards see a stable key set from the moment the world exists.
         """
-        if not self.world.reports:
-            return {}
-        report = self.world.reports[-1]
-        return {
-            "tick": report.tick,
-            "engine_config": self.world.config.as_dict(),
-            "effect_step_seconds": report.effect_step_seconds,
-            "update_step_seconds": report.update_step_seconds,
-            "reactive_seconds": report.reactive_seconds,
-            "advisor_seconds": report.advisor_seconds,
-            "flush_seconds": report.flush_seconds,
-            "total_seconds": report.total_seconds,
-            "plan_cache_hits": report.plan_cache_hits,
-            "plan_cache_misses": report.plan_cache_misses,
-            "shared_subplans": report.shared_subplans,
-            "shared_subplans_evaluated": report.shared_subplans_evaluated,
-            "shared_evaluations_saved": report.shared_evaluations_saved,
-            "fused_effect_rows": report.fused_effect_rows,
-            "subscription_messages": report.subscription_messages,
-            "subscription_delta_rows": report.subscription_delta_rows,
-            "persist_seconds": report.persist_seconds,
-            "wal_bytes": report.wal_bytes,
-            "wal_delta_rows": report.wal_delta_rows,
-            "fixpoint_rounds": report.fixpoint_rounds,
-            "fixpoint_delta_rows": report.fixpoint_delta_rows,
-            "fixpoint_warm_restarts": report.fixpoint_warm_restarts,
-            "fixpoint_cache_hits": report.fixpoint_cache_hits,
-            "exchange_bytes": report.exchange_bytes,
-            "exchange_rows": report.exchange_rows,
-            "halo_rows": report.halo_rows,
-            "handoff_rows": report.handoff_rows,
-        }
+        report = (
+            self.world.reports[-1] if self.world.reports else TickReport(tick=-1)
+        )
+        counters = report.as_dict()
+        counters["engine_config"] = self.world.config.as_dict()
+        return counters
 
     def sharing_report(self) -> dict[str, Any]:
         """The tick pipeline's shared-subplan DAG and fusion decisions."""

@@ -10,6 +10,7 @@ re-running ticks up to the requested point.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
@@ -34,6 +35,11 @@ class TickLogger:
     world: GameWorld
     checkpoint_every: int = 10
     log_lines: list[str] = field(default_factory=list)
+    #: Structured counterpart of :attr:`log_lines`: one dict per tick
+    #: carrying the full ``tick_counters`` payload (every phase timing and
+    #: engine counter of :meth:`TickReport.as_dict` plus the active engine
+    #: config), where the compact line keeps only the headline numbers.
+    log_records: list[dict[str, Any]] = field(default_factory=list)
     checkpoints: list[Checkpoint] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -48,6 +54,7 @@ class TickLogger:
         """Run one world tick, logging and checkpointing it."""
         report = self.world.tick()
         self.log_lines.append(self._format(report))
+        self.log_records.append(self._structured(report))
         if self.world.tick_count % self.checkpoint_every == 0:
             self.checkpoints.append(Checkpoint(self.world.tick_count, self.world.snapshot()))
         return report
@@ -56,12 +63,24 @@ class TickLogger:
         return [self.tick() for _ in range(ticks)]
 
     def _format(self, report: TickReport) -> str:
+        """The compact default repr (headline numbers only; the structured
+        record in :attr:`log_records` carries everything else)."""
         return (
             f"tick={report.tick} assignments={report.effect_assignments} "
             f"txn={report.transactions_committed}/{report.transactions_submitted} "
             f"updates={report.state_updates_applied} handlers={report.handlers_fired} "
             f"seconds={report.total_seconds:.5f}"
         )
+
+    def _structured(self, report: TickReport) -> dict[str, Any]:
+        """One tick's full counters payload (phase timings included)."""
+        record = report.as_dict()
+        record["engine_config"] = self.world.config.as_dict()
+        return record
+
+    def json_lines(self) -> list[str]:
+        """The structured log as JSON lines (one serialized dict per tick)."""
+        return [json.dumps(record, sort_keys=True) for record in self.log_records]
 
     # -- resuming -------------------------------------------------------------------------------
 
@@ -87,6 +106,7 @@ class TickLogger:
             self.world.tick()
         # Drop log lines past the rewind point so the log matches the state.
         self.log_lines = self.log_lines[: tick if tick >= 0 else 0]
+        self.log_records = self.log_records[: tick if tick >= 0 else 0]
         self.checkpoints = [c for c in self.checkpoints if c.tick <= tick]
         if not self.checkpoints or self.checkpoints[0].tick > 0:
             self.checkpoints.insert(0, Checkpoint(self.world.tick_count, self.world.snapshot()))

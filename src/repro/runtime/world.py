@@ -20,6 +20,7 @@ executes the paper's state-effect tick (Section 2):
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import time
 from dataclasses import dataclass
@@ -136,6 +137,18 @@ class TickReport:
             + self.persist_seconds
         )
 
+    def as_dict(self) -> dict[str, Any]:
+        """Every field plus ``total_seconds``, schema-stable across ticks.
+
+        The one counters payload shared by ``TickInspector.tick_counters``,
+        the structured :class:`~repro.runtime.debug.logger.TickLogger`
+        records and the metrics collector — a zero report serializes with
+        the identical key set, so scrapers never special-case startup.
+        """
+        out = dataclasses.asdict(self)
+        out["total_seconds"] = self.total_seconds
+        return out
+
 
 class GameWorld:
     """A running SGL game: schemas, objects, scripts and the tick loop."""
@@ -224,6 +237,13 @@ class GameWorld:
         #: sharded engine uses it to drop ghost rows and non-owned targets;
         #: ``None`` (the default) is a no-op.
         self.effect_step_hook: Callable[[EffectStore, list[TransactionRequest]], None] | None = None
+
+        #: Observers called with the finished :class:`TickReport` at the end
+        #: of every :meth:`tick` (metrics collectors, tracers).  Empty by
+        #: default, so worlds that never attach observability pay nothing.
+        self.tick_observers: list[Callable[[TickReport], None]] = []
+        #: The attached :class:`~repro.obs.collector.WorldMetrics`, if any.
+        self.metrics = None
 
         self._next_ids: dict[str, int] = {decl.name: 0 for decl in self.program.classes}
         self._enabled_scripts: list[str] = [script.name for script in self.program.scripts]
@@ -527,6 +547,47 @@ class GameWorld:
             self.wal = None
 
     # ------------------------------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------------------------------
+
+    def attach_metrics(self, registry=None):
+        """Attach a metrics collector fed from every tick's :class:`TickReport`.
+
+        Creates (or reuses) a :class:`~repro.obs.collector.WorldMetrics`
+        over *registry* (a fresh
+        :class:`~repro.obs.metrics.MetricsRegistry` when ``None``) and
+        registers it as a tick observer: phase-latency histograms, engine
+        counters and last-tick gauges accumulate from then on.  Returns
+        the collector; its ``.registry`` is what
+        :class:`~repro.obs.http.MetricsServer` serves.  Observation is a
+        fixed handful of locked adds per tick — gated well under 3% of a
+        tick — and idempotent: calling again returns the same collector.
+        """
+        if self.metrics is not None:
+            return self.metrics
+        from repro.obs.collector import WorldMetrics
+
+        self.metrics = WorldMetrics(registry)
+        self.tick_observers.append(self.metrics.observe)
+        return self.metrics
+
+    def attach_tracer(self, tracer=None):
+        """Attach a :class:`~repro.obs.tracing.TickTracer` as a tick observer.
+
+        Each tick appends per-phase spans (and per-shared-subplan spans,
+        labeled by MQO fingerprint) to the tracer's Chrome trace-event
+        buffer; ``tracer.export(path)`` writes a Perfetto-loadable file.
+        """
+        if tracer is None:
+            from repro.obs.tracing import TickTracer
+
+            tracer = TickTracer(world=self)
+        else:
+            tracer.bind(self)
+        self.tick_observers.append(tracer.observe)
+        return tracer
+
+    # ------------------------------------------------------------------------------------------
     # the tick loop
     # ------------------------------------------------------------------------------------------
 
@@ -654,6 +715,8 @@ class GameWorld:
         )
         self.tick_count += 1
         self.reports.append(report)
+        for observer in self.tick_observers:
+            observer(report)
         return report
 
     # -- effect-step strategies ---------------------------------------------------------------------

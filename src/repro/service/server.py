@@ -60,11 +60,21 @@ def _compile_filter(clauses: Any) -> Expression | None:
 class SubscriptionServer:
     """Serve a world's subscription streams over TCP."""
 
-    def __init__(self, world: Any, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        world: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics_server: Any | None = None,
+    ):
         self.world = world
         self.manager: SubscriptionManager = world.subscriptions
         self.host = host
         self.port = port
+        #: Optional :class:`~repro.obs.http.MetricsServer` started/stopped
+        #: alongside the TCP server so one event loop serves both the
+        #: subscription streams and the ``/metrics`` scrape endpoint.
+        self.metrics_server = metrics_server
         self._server: asyncio.base_events.Server | None = None
         #: session id → (session, writer); populated per connection.
         self._connections: dict[int, tuple[Any, asyncio.StreamWriter]] = {}
@@ -74,6 +84,8 @@ class SubscriptionServer:
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_server is not None:
+            await self.metrics_server.start()
 
     async def stop(self) -> None:
         if self._server is not None:
@@ -83,6 +95,8 @@ class SubscriptionServer:
         if self._server is not None:
             await self._server.wait_closed()
             self._server = None
+        if self.metrics_server is not None:
+            await self.metrics_server.stop()
 
     @property
     def address(self) -> tuple[str, int]:

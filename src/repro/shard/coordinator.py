@@ -99,6 +99,11 @@ class ShardedWorld:
         self.network = network or NetworkModel(latency_s=0.0, bandwidth_bytes_per_s=None)
         self.tick_count = 0
         self.reports: list[ShardTickReport] = []
+        #: Observers called with the finished :class:`ShardTickReport` at
+        #: the end of every :meth:`tick` (metrics collectors, tracers).
+        self.tick_observers: list[Callable[[ShardTickReport], None]] = []
+        #: The attached :class:`~repro.obs.collector.ShardMetrics`, if any.
+        self.metrics = None
         self._closed = False
         context = multiprocessing.get_context(start_method) if start_method else multiprocessing.get_context()
         self._shards: list[_Shard] = []
@@ -236,6 +241,38 @@ class ShardedWorld:
             subscription_ids.append(reply[1])
         return subscription_ids
 
+    # -- observability -------------------------------------------------------------------
+
+    def attach_metrics(self, registry=None):
+        """Attach a shard-aware metrics collector fed from every sharded tick.
+
+        Creates a :class:`~repro.obs.collector.ShardMetrics` over
+        *registry* and registers it as a tick observer.  Fleet-level
+        series (critical path, coordinator CPU, wall clock) carry no
+        labels; every per-worker counter from
+        :attr:`ShardTickReport.per_worker` — exchange bytes/rows, halo and
+        handoff rows, worker CPU, per-phase seconds — exports under a
+        ``shard`` label, so a single scrape of the coordinator's registry
+        reconstructs (and can be cross-checked against) the fleet totals.
+        Idempotent: calling again returns the same collector.
+        """
+        if self.metrics is not None:
+            return self.metrics
+        from repro.obs.collector import ShardMetrics
+
+        self.metrics = ShardMetrics(registry)
+        self.tick_observers.append(self.metrics.observe)
+        return self.metrics
+
+    def attach_tracer(self, tracer=None):
+        """Attach a tracer: one Perfetto track per worker + the coordinator."""
+        if tracer is None:
+            from repro.obs.tracing import TickTracer
+
+            tracer = TickTracer()
+        self.tick_observers.append(tracer.observe_shard)
+        return tracer
+
     # -- the sharded tick ----------------------------------------------------------------
 
     def tick(self) -> ShardTickReport:
@@ -286,6 +323,8 @@ class ShardedWorld:
             per_worker=tuple(counters),
         )
         self.reports.append(report)
+        for observer in self.tick_observers:
+            observer(report)
         return report
 
     # -- inspection ----------------------------------------------------------------------

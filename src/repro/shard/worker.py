@@ -179,6 +179,17 @@ class ShardWorker:
                 effect_assignments=report.effect_assignments,
                 subscription_messages=report.subscription_messages,
                 subscription_delta_rows=report.subscription_delta_rows,
+                # Per-phase seconds ride along so the coordinator's metrics
+                # collector can export shard-labeled phase histograms and
+                # the tracer can render one Perfetto track per worker.
+                phase_seconds={
+                    "effect": report.effect_step_seconds,
+                    "update": report.update_step_seconds,
+                    "reactive": report.reactive_seconds,
+                    "flush": report.flush_seconds,
+                    "persist": report.persist_seconds,
+                    "advisor": report.advisor_seconds,
+                },
             )
         return counters
 
